@@ -1,0 +1,102 @@
+// gcrt-demo drives the executable collector kernel: mutator goroutines
+// churn a shared arena while the collector cycles on-the-fly, and the
+// demo reports reclamation and barrier statistics.
+//
+// Usage:
+//
+//	gcrt-demo -mutators 4 -slots 4096 -cycles 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		nMut   = flag.Int("mutators", 4, "mutator goroutines")
+		slots  = flag.Int("slots", 4096, "arena slots")
+		fields = flag.Int("fields", 2, "fields per object")
+		cycles = flag.Int("cycles", 20, "collection cycles to run")
+		noDel  = flag.Bool("no-deletion-barrier", false, "ablate the deletion barrier (expect faults)")
+		noIns  = flag.Bool("no-insertion-barrier", false, "ablate the insertion barrier")
+	)
+	flag.Parse()
+
+	rt := core.NewRuntime(core.RuntimeOptions{
+		Slots: *slots, Fields: *fields, Mutators: *nMut,
+		NoDeletionBarrier: *noDel, NoInsertionBarrier: *noIns,
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < *nMut; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := rt.Mutator(id)
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			m.Alloc()
+			for {
+				select {
+				case <-stop:
+					m.Park()
+					return
+				default:
+				}
+				// Keep a persistent working set of roots; when the arena
+				// is exhausted, sit at safe points until the collector
+				// replenishes the free list (an allocation stall).
+				n := m.NumRoots()
+				switch {
+				case n < 4:
+					if m.Alloc() == -1 {
+						m.SafePoint()
+					}
+				case n > 32:
+					m.Discard(rng.Intn(n))
+				default:
+					switch rng.Intn(4) {
+					case 0:
+						m.Alloc()
+					case 1:
+						m.Load(rng.Intn(n), rng.Intn(*fields))
+					case 2:
+						dst := rng.Intn(n)
+						if rng.Intn(4) == 0 {
+							dst = -1
+						}
+						m.Store(rng.Intn(n), rng.Intn(*fields), dst)
+					case 3:
+						if n > 4 {
+							m.Discard(rng.Intn(n))
+						}
+					}
+				}
+				m.SafePoint()
+			}
+		}(i)
+	}
+
+	for c := 0; c < *cycles; c++ {
+		freed := rt.Collect()
+		fmt.Printf("cycle %2d: freed %4d, live %4d/%d\n",
+			c+1, freed, rt.Arena().LiveCount(), *slots)
+	}
+	close(stop)
+	wg.Wait()
+
+	s := rt.Stats()
+	fmt.Println()
+	fmt.Println("stats:", s)
+	if f := rt.Arena().Faults.Load(); f > 0 {
+		fmt.Printf("LOST OBJECTS: %d dead-slot accesses — the ablated collector freed reachable objects\n", f)
+		os.Exit(1)
+	}
+	fmt.Println("no lost objects: every reachable object survived every cycle")
+}

@@ -1,0 +1,49 @@
+// Litmus: see x86-TSO with your own eyes.
+//
+// The store-buffering test (SB) is the observable heart of TSO — both
+// threads can read 0, which no interleaving of a sequentially consistent
+// machine allows. This example explores SB exhaustively under both
+// memory models, prints the outcome sets side by side, and shows how
+// MFENCE (as used by the collector's handshakes) and locked CMPXCHG (as
+// used by the marking CAS) each restore the SC outcomes.
+//
+// Run:
+//
+//	go run ./examples/litmus
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/litmus"
+	"repro/internal/tso"
+)
+
+func show(name string, prog tso.Program) {
+	tsoOuts := tso.Explore(prog, tso.TSO)
+	scOuts := tso.Explore(prog, tso.SC)
+	fmt.Printf("%s:\n", name)
+	for _, k := range tso.OutcomeKeys(tsoOuts) {
+		marker := "  (also under SC)"
+		if _, ok := scOuts[k]; !ok {
+			marker = "  ← TSO ONLY"
+		}
+		fmt.Printf("    %s%s\n", k, marker)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Thread 0:  x ← 1; r0 ← y        Thread 1:  y ← 1; r0 ← x")
+	fmt.Println()
+	show("SB under x86-TSO (exhaustive)", litmus.SB().Prog)
+	show("SB with MFENCE between store and load", litmus.SBFence().Prog)
+	show("SB with locked CMPXCHG stores", litmus.SBCas().Prog)
+
+	fmt.Println("The 0:r0=0 1:r0=0 outcome is why the collector cannot assume")
+	fmt.Println("sequential consistency: a mutator's store can sit unseen in its")
+	fmt.Println("store buffer while it reads stale control state. The paper's")
+	fmt.Println("proof accounts for every such window; the fences at handshakes")
+	fmt.Println("and the locked CAS in mark() are exactly the points where the")
+	fmt.Println("collector forces buffers to drain.")
+}

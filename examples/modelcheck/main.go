@@ -1,0 +1,56 @@
+// Modelcheck: re-establish the paper's headline theorem on a bounded
+// configuration by exhaustive state-space exploration.
+//
+//	GC ∥ M1 ∥ … ∥ Mn ∥ Sys ⊨ □(∀r. reachable r → valid_ref r)
+//
+// Every reachable state of the CIMP model — collector, mutators, and the
+// x86-TSO memory system with its store buffers and lock — is checked
+// against the full battery of invariants from §3.2 of the paper.
+//
+// Run:
+//
+//	go run ./examples/modelcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	cfg := core.TinyConfig() // h → x, one mutator: ~1M states, ≈1 minute
+	fmt.Println("configuration: 1 mutator, heap h→x (only h rooted),")
+	fmt.Println("TSO buffers bounded at 2, two heap operations per cycle")
+	fmt.Println("checking: valid_refs_inv, strong/weak tricolor, valid_W_inv,")
+	fmt.Println("          mutator_phase_inv, sys_phase_inv, gc_W_empty_mut_inv,")
+	fmt.Println("          sweep_inv, tso_control_inv")
+	fmt.Println()
+
+	res, err := core.Verify(cfg, core.VerifyOptions{
+		Trace: true,
+		Progress: func(states, depth int) {
+			fmt.Fprintf(os.Stderr, "\r%9d states, depth %4d", states, depth)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("explored %d states (%d transitions) to depth %d in %v\n",
+		res.States, res.Transitions, res.Depth, res.Elapsed)
+	if !res.Holds() {
+		fmt.Println("VIOLATION — this should never happen for the verified collector:")
+		fmt.Print(res.RenderViolation())
+		os.Exit(1)
+	}
+	if res.Complete {
+		fmt.Println("VERIFIED: the headline safety property and all auxiliary")
+		fmt.Println("invariants hold on every reachable state of this configuration.")
+	} else {
+		fmt.Println("no violation within the explored bound")
+	}
+}

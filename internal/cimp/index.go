@@ -1,0 +1,74 @@
+package cimp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Index assigns a stable small-integer identity to every command node of a
+// program, enabling compact encodings of frame stacks for state
+// fingerprinting. Programs are static command graphs built once; pointer
+// identity of command nodes is therefore stable for the lifetime of a
+// model.
+type Index[S any] struct {
+	ids  map[Com[S]]int
+	coms []Com[S]
+}
+
+// NewIndex builds an index covering all the given program roots.
+func NewIndex[S any](roots ...Com[S]) *Index[S] {
+	ix := &Index[S]{ids: make(map[Com[S]]int)}
+	for _, r := range roots {
+		ix.walk(r)
+	}
+	return ix
+}
+
+func (ix *Index[S]) walk(c Com[S]) {
+	if c == nil {
+		return
+	}
+	if _, ok := ix.ids[c]; ok {
+		return
+	}
+	ix.ids[c] = len(ix.coms)
+	ix.coms = append(ix.coms, c)
+	switch n := c.(type) {
+	case *Seq[S]:
+		ix.walk(n.A)
+		ix.walk(n.B)
+	case *Cond[S]:
+		ix.walk(n.Then)
+		ix.walk(n.Else)
+	case *While[S]:
+		ix.walk(n.Body)
+	case *Loop[S]:
+		ix.walk(n.Body)
+	case *Choose[S]:
+		for _, a := range n.Alts {
+			ix.walk(a)
+		}
+	}
+}
+
+// ID returns the identity of a command node; the node must belong to an
+// indexed program.
+func (ix *Index[S]) ID(c Com[S]) int {
+	id, ok := ix.ids[c]
+	if !ok {
+		panic(fmt.Sprintf("cimp: command %T %q not in index", c, c.Label()))
+	}
+	return id
+}
+
+// Len reports the number of indexed command nodes.
+func (ix *Index[S]) Len() int { return len(ix.coms) }
+
+// AppendStack appends a compact encoding of a frame stack to dst.
+func (ix *Index[S]) AppendStack(dst []byte, stack []Com[S]) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(stack)))
+	for _, c := range stack {
+		dst = binary.AppendUvarint(dst, uint64(ix.ID(c)))
+	}
+	return dst
+}

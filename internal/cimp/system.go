@@ -1,0 +1,132 @@
+package cimp
+
+// PID identifies a process in a flat parallel composition.
+type PID int
+
+// Event describes one system transition for trace reporting.
+type Event struct {
+	// Proc is the process that moved; for a rendezvous it is the requester.
+	Proc PID
+	// Peer is the responder of a rendezvous, or -1 for a τ step.
+	Peer PID
+	// Label is the label of the command that fired (the request label for
+	// a rendezvous).
+	Label string
+	// PeerLabel is the responder's label for a rendezvous, else "".
+	PeerLabel string
+	// Alpha and Beta carry the rendezvous messages, nil for τ steps.
+	Alpha, Beta Msg
+}
+
+// Tau marks τ-step events.
+func (e Event) Tau() bool { return e.Peer < 0 }
+
+// System is the flat parallel composition of CIMP processes sharing local
+// state type S (paper Figure 8). Process transitions interleave at the top
+// level with no action hiding; rendezvous synchronizes exactly two
+// processes.
+type System[S any] struct {
+	Procs []Config[S]
+	// DisableFusion turns off the merging of register-only (Fuse-marked)
+	// LocalOps into the preceding transition. Fusion is a sound
+	// stutter-reduction — fused steps touch no state observable by other
+	// processes — and is on by default; disabling it recovers the fully
+	// fine-grained semantics for validation runs.
+	DisableFusion bool
+}
+
+// CloneShallow copies the process table (the configurations themselves are
+// persistent values and are shared).
+func (sys System[S]) CloneShallow() System[S] {
+	ps := make([]Config[S], len(sys.Procs))
+	copy(ps, sys.Procs)
+	return System[S]{Procs: ps, DisableFusion: sys.DisableFusion}
+}
+
+// fuse repeatedly executes Fuse-marked deterministic LocalOps at the head
+// of the configuration, merging them into the transition that produced
+// it. Only single-successor applications are merged; a Fuse-marked op
+// that blocks or branches is left for the normal step relation.
+func fuse[S any](cfg Config[S]) Config[S] {
+	for i := 0; i < maxUnfold; i++ {
+		stack := Norm(cfg.Stack, cfg.Data)
+		cfg.Stack = stack
+		if len(stack) == 0 {
+			return cfg
+		}
+		op, ok := stack[0].(*LocalOp[S])
+		if !ok || !op.Fuse {
+			return cfg
+		}
+		next := op.F(cfg.Data)
+		if len(next) != 1 {
+			return cfg
+		}
+		cfg = Config[S]{Stack: stack[1:], Data: next[0]}
+	}
+	panic("cimp: fusion diverged")
+}
+
+// Successors enumerates every enabled system transition from sys,
+// invoking yield with the successor system state and the event that
+// produced it. Successor states share all unchanged process
+// configurations with sys.
+//
+// Two rules apply (paper Figure 8):
+//
+//	τ:          one process takes a local step;
+//	rendezvous: a Request of process p synchronizes with a Response of a
+//	            distinct process q; both update local state simultaneously.
+func (sys System[S]) Successors(yield func(next System[S], ev Event)) {
+	post := func(c Config[S]) Config[S] {
+		if sys.DisableFusion {
+			return c
+		}
+		return fuse(c)
+	}
+	for p := range sys.Procs {
+		pid := PID(p)
+		// τ steps.
+		TauSuccessors(sys.Procs[p], func(next Config[S], label string) {
+			ns := sys.CloneShallow()
+			ns.Procs[p] = post(next)
+			yield(ns, Event{Proc: pid, Peer: -1, Label: label})
+		})
+		// Rendezvous with every other process.
+		for _, off := range Offers(sys.Procs[p]) {
+			for q := range sys.Procs {
+				if q == p {
+					continue
+				}
+				for _, ans := range Answers(sys.Procs[q], off.Alpha) {
+					for _, pNext := range off.Accept(ans.Beta) {
+						ns := sys.CloneShallow()
+						ns.Procs[p] = post(pNext)
+						ns.Procs[q] = post(ans.Next)
+						yield(ns, Event{
+							Proc: pid, Peer: PID(q),
+							Label: off.Label, PeerLabel: ans.Label,
+							Alpha: off.Alpha, Beta: ans.Beta,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// Deadlocked reports whether no transition is enabled and at least one
+// process has commands left to run.
+func (sys System[S]) Deadlocked() bool {
+	any := false
+	sys.Successors(func(System[S], Event) { any = true })
+	if any {
+		return false
+	}
+	for _, p := range sys.Procs {
+		if !Terminated(p) {
+			return true
+		}
+	}
+	return false
+}

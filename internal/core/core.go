@@ -1,0 +1,192 @@
+// Package core is the library façade for the reproduction of "Relaxing
+// Safely: Verified On-the-fly Garbage Collection for x86-TSO" (Gammie,
+// Hosking, Engelhardt; PLDI 2015). It ties together:
+//
+//   - the formal model of the collector over CIMP and x86-TSO
+//     (packages cimp, tso, heap, gcmodel),
+//   - the safety invariants of the paper's proof (package invariant),
+//   - the explicit-state model checker and randomized simulator that
+//     re-establish the headline theorem on bounded configurations
+//     (packages explore, sched),
+//   - and the executable collector kernel with real goroutine mutators
+//     (package gcrt).
+//
+// The headline property, checked at every reachable state:
+//
+//	GC ∥ M1 ∥ … ∥ Mn ∥ Sys ⊨ □(∀r. reachable r → valid_ref r)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/gcmodel"
+	"repro/internal/gcrt"
+	"repro/internal/heap"
+	"repro/internal/invariant"
+	"repro/internal/sched"
+)
+
+// ModelConfig re-exports the model configuration.
+type ModelConfig = gcmodel.Config
+
+// VerifyOptions bounds a verification run.
+type VerifyOptions struct {
+	// MaxStates caps the exploration (0 = unbounded).
+	MaxStates int
+	// MaxDepth caps the BFS depth (0 = unbounded).
+	MaxDepth int
+	// Trace records counterexample traces.
+	Trace bool
+	// HeadlineOnly checks just valid_refs_inv instead of the full
+	// battery.
+	HeadlineOnly bool
+	// Progress, if non-nil, receives periodic (states, depth) updates.
+	Progress func(states, depth int)
+}
+
+// VerifyResult reports a verification run.
+type VerifyResult struct {
+	// Result is the raw exploration outcome.
+	explore.Result
+	// Model is the built model (for rendering traces).
+	Model *gcmodel.Model
+}
+
+// Holds reports whether every checked invariant held on every explored
+// state.
+func (r VerifyResult) Holds() bool { return r.Violation == nil }
+
+// RenderViolation formats the counterexample, or "" if none.
+func (r VerifyResult) RenderViolation() string {
+	if r.Violation == nil {
+		return ""
+	}
+	return r.Violation.Render(r.Model)
+}
+
+// Verify model-checks a configuration against the paper's invariants.
+func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
+	m, err := gcmodel.Build(cfg)
+	if err != nil {
+		return VerifyResult{}, fmt.Errorf("core: %w", err)
+	}
+	checks := invariant.All()
+	if opt.HeadlineOnly {
+		checks = invariant.Safety()
+	}
+	res := explore.Run(m, checks, explore.Options{
+		MaxStates: opt.MaxStates,
+		MaxDepth:  opt.MaxDepth,
+		Trace:     opt.Trace,
+		Progress:  opt.Progress,
+	})
+	return VerifyResult{Result: res, Model: m}, nil
+}
+
+// SimulateOptions configures a randomized deep run.
+type SimulateOptions struct {
+	Seed       int64
+	Steps      int
+	CheckEvery int
+}
+
+// Simulate performs a seeded random walk with invariant monitors — depth
+// and scale where Verify gives exhaustiveness.
+func Simulate(cfg ModelConfig, opt SimulateOptions) (sched.Result, error) {
+	m, err := gcmodel.Build(cfg)
+	if err != nil {
+		return sched.Result{}, fmt.Errorf("core: %w", err)
+	}
+	return sched.Walk(m, invariant.All(), sched.Options{
+		Seed:       opt.Seed,
+		Steps:      opt.Steps,
+		CheckEvery: opt.CheckEvery,
+	}), nil
+}
+
+// RuntimeOptions re-exports the collector kernel options.
+type RuntimeOptions = gcrt.Options
+
+// NewRuntime creates the executable collector kernel.
+func NewRuntime(opt RuntimeOptions) *gcrt.Runtime { return gcrt.New(opt) }
+
+// TinyConfig is the smallest interesting verification instance: one
+// mutator over two objects (h → x, only h rooted), with stores, loads
+// and discards, a store-buffer bound of 2, and a per-cycle budget of two
+// heap operations.
+func TinyConfig() ModelConfig {
+	return ModelConfig{
+		NMutators: 1,
+		NRefs:     2,
+		NFields:   1,
+		MaxBuf:    2,
+		OpBudget:  2,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {heap.NilRef},
+		},
+		InitRoots:     []heap.RefSet{heap.SetOf(0)},
+		AllowNilStore: true,
+		DisableAlloc:  true,
+	}
+}
+
+// AllocConfig adds allocation over a three-reference universe.
+func AllocConfig() ModelConfig {
+	cfg := TinyConfig()
+	cfg.NRefs = 3
+	cfg.DisableAlloc = false
+	return cfg
+}
+
+// TwoMutatorConfig exercises ragged handshakes: two mutators share the
+// heap; budgets and buffers are kept minimal so exhaustive runs stay
+// tractable.
+func TwoMutatorConfig() ModelConfig {
+	return ModelConfig{
+		NMutators: 2,
+		NRefs:     2,
+		NFields:   1,
+		MaxBuf:    1,
+		OpBudget:  1,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {heap.NilRef},
+		},
+		InitRoots:     []heap.RefSet{heap.SetOf(0), heap.SetOf(1)},
+		AllowNilStore: true,
+		DisableAlloc:  true,
+		DisableLoad:   true,
+	}
+}
+
+// TwoMutatorLoadsConfig is TwoMutatorConfig with heap loads enabled:
+// the workload needed by the §2 insertion-barrier hiding scenario (a
+// mutator loads a white reference and stores it behind the wavefront).
+func TwoMutatorLoadsConfig() ModelConfig {
+	cfg := TwoMutatorConfig()
+	cfg.DisableLoad = false
+	return cfg
+}
+
+// ChainConfig roots a two-link chain h → x → y, the Figure 1 shape: grey
+// protection along white chains is what the deletion barrier preserves.
+func ChainConfig() ModelConfig {
+	return ModelConfig{
+		NMutators: 1,
+		NRefs:     3,
+		NFields:   1,
+		MaxBuf:    1,
+		OpBudget:  2,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {2},
+			2: {heap.NilRef},
+		},
+		InitRoots:      []heap.RefSet{heap.SetOf(0)},
+		AllowNilStore:  true,
+		DisableAlloc:   true,
+		DisableDiscard: true,
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, cfg := range map[string]ModelConfig{
+		"tiny":        TinyConfig(),
+		"alloc":       AllocConfig(),
+		"two-mutator": TwoMutatorConfig(),
+		"chain":       ChainConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyRejectsInvalidConfig(t *testing.T) {
+	if _, err := Verify(ModelConfig{}, VerifyOptions{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestVerifyBoundedRunHoldsOnSafeModel(t *testing.T) {
+	res, err := Verify(TinyConfig(), VerifyOptions{MaxStates: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Fatalf("violation:\n%s", res.RenderViolation())
+	}
+	if res.Complete {
+		t.Fatal("30k-state cap should not exhaust the tiny config")
+	}
+	if res.RenderViolation() != "" {
+		t.Fatal("RenderViolation non-empty without violation")
+	}
+}
+
+func TestVerifyFindsAblationViolationWithTrace(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.NoDeletionBarrier = true
+	res, err := Verify(cfg, VerifyOptions{Trace: true, HeadlineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds() {
+		t.Fatal("ablated model verified")
+	}
+	rendered := res.RenderViolation()
+	if !strings.Contains(rendered, "valid_refs_inv") || !strings.Contains(rendered, "counterexample") {
+		t.Fatalf("violation rendering incomplete:\n%s", rendered)
+	}
+}
+
+func TestSimulateRunsToCompletion(t *testing.T) {
+	cfg := AllocConfig()
+	cfg.OpBudget = 0 // walks need no bounded-context reduction
+	res, err := Simulate(cfg, SimulateOptions{Seed: 1, Steps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles completed")
+	}
+}
+
+func TestNewRuntimeRoundTrip(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Slots: 8, Fields: 1, Mutators: 1})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	if a == -1 {
+		t.Fatal("alloc failed")
+	}
+	m.Park()
+	rt.Collect()
+	m.Unpark()
+	if !rt.Arena().Allocated(m.Root(a)) {
+		t.Fatal("rooted object collected")
+	}
+}

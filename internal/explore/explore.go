@@ -1,0 +1,255 @@
+// Package explore is an explicit-state model checker for the GC model: a
+// breadth-first search over the CIMP system semantics with state
+// fingerprinting, invariant checking at every reachable state, and
+// counterexample trace reconstruction. It plays the role of the paper's
+// Isabelle/HOL induction over the reachable states of the _⇒_ relation,
+// restricted to bounded configurations.
+//
+// Memory: visited states are retained only as fingerprints (plus a parent
+// fingerprint for trace reconstruction when Options.Trace is set); full
+// states live only on the BFS frontier. Counterexample traces are
+// materialized afterwards by replaying the fingerprint path from the
+// initial state.
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cimp"
+	"repro/internal/gcmodel"
+	"repro/internal/invariant"
+	"repro/internal/trace"
+)
+
+// Options bounds and instruments a run.
+type Options struct {
+	// MaxStates caps the number of distinct states visited (0 = no cap).
+	MaxStates int
+	// MaxDepth caps the BFS depth (0 = no cap).
+	MaxDepth int
+	// Trace records parent fingerprints so a counterexample path can be
+	// reconstructed.
+	Trace bool
+	// Progress, if non-nil, receives (states, depth) periodically.
+	Progress func(states, depth int)
+}
+
+// Step is one transition of a counterexample trace.
+type Step struct {
+	Ev    cimp.Event
+	State cimp.System[*gcmodel.Local]
+}
+
+// Violation reports an invariant failure at a reachable state.
+type Violation struct {
+	Invariant string
+	Err       error
+	Depth     int
+	State     cimp.System[*gcmodel.Local]
+	// Trace is the path from the initial state (inclusive of the failing
+	// state, exclusive of the initial state); empty unless Options.Trace.
+	Trace []Step
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violated at depth %d: %v", v.Invariant, v.Depth, v.Err)
+}
+
+// Render formats the violation with its counterexample trace (if
+// recorded) for human consumption.
+func (v *Violation) Render(m *gcmodel.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violated at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
+	if len(v.Trace) > 0 {
+		fmt.Fprintf(&b, "counterexample (%d steps):\n", len(v.Trace))
+		fmt.Fprintf(&b, "  init: %s\n", trace.State(m, m.Initial()))
+		for i, s := range v.Trace {
+			fmt.Fprintf(&b, "  %3d. %-60s %s\n", i+1, trace.Event(m, s.Ev), trace.State(m, s.State))
+		}
+	} else {
+		fmt.Fprintf(&b, "state: %s\n", trace.State(m, v.State))
+	}
+	return b.String()
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct reachable states visited.
+	States int
+	// Transitions is the number of transitions taken.
+	Transitions int
+	// Depth is the deepest BFS layer reached.
+	Depth int
+	// Complete reports whether the full reachable state space was
+	// exhausted within the caps.
+	Complete bool
+	// Deadlocks counts states with no outgoing transition.
+	Deadlocks int
+	// Violation is the first invariant failure found, or nil.
+	Violation *Violation
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// rec is the per-visited-state bookkeeping: the parent fingerprint (""
+// for the initial state or when tracing is off) and the BFS depth.
+type rec struct {
+	parent string
+	depth  int32
+}
+
+type qent struct {
+	state cimp.System[*gcmodel.Local]
+	fp    string
+}
+
+// Run explores the model's reachable states, checking every invariant at
+// every state, and stops at the first violation or when the space (or a
+// cap) is exhausted.
+func Run(m *gcmodel.Model, checks []invariant.Check, opt Options) Result {
+	return RunFrom(m, m.Initial(), checks, opt)
+}
+
+// RunFrom is Run starting at an explicit initial state, e.g. one with
+// fusion disabled for a validation pass.
+func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invariant.Check, opt Options) Result {
+	start := time.Now()
+	res := Result{Complete: true}
+
+	initFP := m.Fingerprint(init)
+	seen := map[string]rec{initFP: {}}
+	queue := []qent{{state: init, fp: initFP}}
+
+	check := func(st cimp.System[*gcmodel.Local], fp string, depth int) *Violation {
+		g := gcmodel.Global{Model: m, State: st}
+		v := invariant.NewView(g)
+		for _, c := range checks {
+			if err := c.Pred(v); err != nil {
+				viol := &Violation{Invariant: c.Name, Err: err, Depth: depth, State: st}
+				if opt.Trace {
+					viol.Trace = replay(m, init, fpPath(seen, fp))
+				}
+				return viol
+			}
+		}
+		return nil
+	}
+
+	if v := check(init, initFP, 0); v != nil {
+		res.Violation = v
+		res.States = 1
+		res.Complete = false
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue[0] = qent{}
+		queue = queue[1:]
+		depth := int(seen[cur.fp].depth)
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if opt.MaxDepth > 0 && depth >= opt.MaxDepth {
+			res.Complete = false
+			continue
+		}
+
+		out := 0
+		stop := false
+		m.Successors(cur.state, func(next cimp.System[*gcmodel.Local], ev cimp.Event) {
+			if stop {
+				return
+			}
+			out++
+			res.Transitions++
+			nfp := m.Fingerprint(next)
+			if _, ok := seen[nfp]; ok {
+				return
+			}
+			r := rec{depth: int32(depth + 1)}
+			if opt.Trace {
+				r.parent = cur.fp
+			}
+			seen[nfp] = r
+			if v := check(next, nfp, depth+1); v != nil {
+				res.Violation = v
+				stop = true
+				return
+			}
+			queue = append(queue, qent{state: next, fp: nfp})
+		})
+		if stop {
+			break
+		}
+		if out == 0 {
+			res.Deadlocks++
+		}
+		if opt.Progress != nil && len(seen)%4096 < 8 {
+			opt.Progress(len(seen), depth)
+		}
+		if opt.MaxStates > 0 && len(seen) >= opt.MaxStates {
+			res.Complete = false
+			break
+		}
+	}
+
+	res.States = len(seen)
+	if res.Violation != nil {
+		res.Complete = false
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// fpPath walks parent links from fp back to the initial state and
+// returns the fingerprints along the way, initial state excluded, in
+// forward order.
+func fpPath(seen map[string]rec, fp string) []string {
+	var revPath []string
+	for fp != "" {
+		r, ok := seen[fp]
+		if !ok {
+			break
+		}
+		if r.parent == "" && r.depth == 0 {
+			break // initial state
+		}
+		revPath = append(revPath, fp)
+		fp = r.parent
+	}
+	path := make([]string, 0, len(revPath))
+	for i := len(revPath) - 1; i >= 0; i-- {
+		path = append(path, revPath[i])
+	}
+	return path
+}
+
+// replay materializes the states along a fingerprint path by re-running
+// the transition relation from the initial state, selecting at each step
+// the successor whose fingerprint matches.
+func replay(m *gcmodel.Model, init cimp.System[*gcmodel.Local], path []string) []Step {
+	steps := make([]Step, 0, len(path))
+	cur := init
+	for _, want := range path {
+		found := false
+		m.Successors(cur, func(next cimp.System[*gcmodel.Local], ev cimp.Event) {
+			if found {
+				return
+			}
+			if m.Fingerprint(next) == want {
+				steps = append(steps, Step{Ev: ev, State: next})
+				cur = next
+				found = true
+			}
+		})
+		if !found {
+			// Should be impossible: the path came from this relation.
+			panic("explore: counterexample replay diverged")
+		}
+	}
+	return steps
+}

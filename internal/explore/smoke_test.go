@@ -1,0 +1,46 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/gcmodel"
+	"repro/internal/heap"
+	"repro/internal/invariant"
+)
+
+// TestSmokeTinyConfig model-checks the smallest interesting configuration
+// and requires every invariant to hold on its full reachable state space.
+func TestSmokeTinyConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking is slow")
+	}
+	m, err := gcmodel.Build(gcmodel.Config{
+		NMutators: 1,
+		NRefs:     2,
+		NFields:   1,
+		MaxBuf:    2,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {heap.NilRef},
+		},
+		InitRoots:     []heap.RefSet{heap.SetOf(0)},
+		AllowNilStore: true,
+		DisableAlloc:  true, // keep the smoke test small
+		OpBudget:      2,    // bounded-context reduction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, invariant.All(), Options{Trace: true, MaxStates: 3_000_000})
+	t.Logf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%v",
+		res.States, res.Transitions, res.Depth, res.Complete, res.Deadlocks, res.Elapsed)
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%s", res.Violation.Render(m))
+	}
+	if !res.Complete {
+		t.Fatalf("state space not exhausted within cap")
+	}
+	if res.Deadlocks > 0 {
+		t.Fatalf("%d deadlocked states", res.Deadlocks)
+	}
+}

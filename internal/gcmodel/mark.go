@@ -1,0 +1,97 @@
+package gcmodel
+
+import (
+	"repro/internal/cimp"
+	"repro/internal/heap"
+)
+
+// markCom builds the mark operation of paper Figure 5 as a CIMP program,
+// shared verbatim by the collector (mark loop), the mutators' write
+// barriers, and the mutators' root-marking handshake handler:
+//
+//	mark(ref, w):
+//	    expected ← not f_M
+//	    if flag(ref) = expected
+//	        if phase ≠ Idle
+//	            atomic // CAS (TSO lock ... unlock)
+//	                if flag(ref) = expected // we win
+//	                    winner ← true
+//	                    flag(ref) ← f_M
+//	                    // ghost_honorary_grey ← ref
+//	                else winner ← false
+//	    if winner
+//	        w ← w ∪ {ref}
+//	        // ghost_honorary_grey ← null
+//
+// f_M, flag(ref) and phase are loaded through the TSO machinery; the CAS
+// is spelled out as lock / re-load / compare / buffered store / unlock,
+// where unlock is enabled only once the store buffer has drained, so the
+// mark is globally visible when the locked instruction completes. The
+// store writes the f_M value loaded at the top of the operation (it is a
+// register operand of the CMPXCHG).
+//
+// pfx uniquely labels this call site. target fetches the reference to
+// mark from the caller's registers; a NULL target skips the operation.
+// del records (as ghost state) that this mark is a deletion barrier,
+// whose target the safety argument treats as a root for the duration of
+// the operation (§3.2).
+func markCom(pfx string, del bool, target func(*Local) heap.Ref) cimp.Com[*Local] {
+	expected := func(l *Local) bool { return !l.mFM() }
+
+	casWin := writeVal(pfx+"_cas_store",
+		func(l *Local) Loc { return Loc{Kind: LMark, R: l.mRef()} },
+		func(l *Local) Val { return BoolVal(l.mFM()) },
+		func(l *Local) {
+			l.setWinner(true)
+			l.setGHG(l.mRef()) // ghost_honorary_grey ← ref
+		})
+
+	cas := seqs(
+		req(pfx+"_lock", func(*Local) Req { return Req{Kind: RLock} }, nil),
+		readTo(pfx+"_cas_load",
+			func(l *Local) Loc { return Loc{Kind: LMark, R: l.mRef()} },
+			func(l *Local, v Val) { l.setMFlag(v.Bool()) }),
+		cimp.If2(pfx+"_cas_cmp",
+			func(l *Local) bool { return l.mFlag() == expected(l) },
+			casWin,
+			det(pfx+"_cas_fail", func(l *Local) { l.setWinner(false) })),
+		req(pfx+"_unlock", func(*Local) Req { return Req{Kind: RUnlock} }, nil),
+	)
+
+	body := seqs(
+		readTo(pfx+"_load_fM",
+			func(*Local) Loc { return Loc{Kind: LFM} },
+			func(l *Local, v Val) { l.setMFM(v.Bool()) }),
+		readTo(pfx+"_load_flag",
+			func(l *Local) Loc { return Loc{Kind: LMark, R: l.mRef()} },
+			func(l *Local, v Val) { l.setMFlag(v.Bool()) }),
+		cimp.If1(pfx+"_flag_chk",
+			func(l *Local) bool { return l.mFlag() == expected(l) },
+			seqs(
+				readTo(pfx+"_load_phase",
+					func(*Local) Loc { return Loc{Kind: LPhase} },
+					func(l *Local, v Val) { l.setMPhase(v.Phase()) }),
+				cimp.If1(pfx+"_phase_chk",
+					func(l *Local) bool { return l.mPhase() != PhIdle },
+					cas))),
+		cimp.If1(pfx+"_win_chk",
+			func(l *Local) bool { return l.winner() },
+			det(pfx+"_add_w", func(l *Local) {
+				l.setWorklist(l.worklist().Add(l.mRef()))
+				l.setGHG(heap.NilRef) // ghost_honorary_grey ← null
+			})),
+		det(pfx+"_end", func(l *Local) { l.resetMarkRegs() }),
+	)
+
+	return seqs(
+		det(pfx+"_begin", func(l *Local) {
+			l.setMRef(target(l))
+			l.setWinner(false)
+			l.setInMark(true, del)
+		}),
+		cimp.If2(pfx+"_null_chk",
+			func(l *Local) bool { return l.mRef() != heap.NilRef },
+			body,
+			det(pfx+"_skip", func(l *Local) { l.resetMarkRegs() })),
+	)
+}

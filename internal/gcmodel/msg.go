@@ -1,0 +1,122 @@
+package gcmodel
+
+import (
+	"fmt"
+
+	"repro/internal/cimp"
+	"repro/internal/heap"
+)
+
+// ReqKind classifies requests to the system process.
+type ReqKind int
+
+const (
+	// RRead loads Loc through the TSO machinery (own buffer, then
+	// memory); enabled only while the requester is not blocked by the
+	// TSO lock.
+	RRead ReqKind = iota
+	// RWrite buffers a store; always enabled.
+	RWrite
+	// RMFence completes only when the requester's buffer is empty.
+	RMFence
+	// RLock acquires the TSO lock (locked-instruction prefix).
+	RLock
+	// RUnlock releases the TSO lock; requires an empty buffer.
+	RUnlock
+	// RAlloc atomically allocates an object at an arbitrary free
+	// reference with flag f_A, per the paper's coarse allocation
+	// abstraction (§3.1), and returns the reference.
+	RAlloc
+	// RFree atomically removes an object from the heap (sweep line 44).
+	RFree
+	// RRefsSnapshot returns the current heap domain (sweep line 38).
+	RRefsSnapshot
+	// RHsStart sets the handshake type and ghost round tag (collector).
+	RHsStart
+	// RHsSignal sets the pending bit for one mutator (collector).
+	RHsSignal
+	// RHsPoll reads the requesting mutator's pending bit and the
+	// handshake type/tag.
+	RHsPoll
+	// RHsDone clears the mutator's pending bit and merges its private
+	// work-list into the system work-list.
+	RHsDone
+	// RHsWaitAll completes only when every pending bit is clear, and
+	// returns (and clears) the system work-list.
+	RHsWaitAll
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case RRead:
+		return "read"
+	case RWrite:
+		return "write"
+	case RMFence:
+		return "mfence"
+	case RLock:
+		return "lock"
+	case RUnlock:
+		return "unlock"
+	case RAlloc:
+		return "alloc"
+	case RFree:
+		return "free"
+	case RRefsSnapshot:
+		return "refs"
+	case RHsStart:
+		return "hs-start"
+	case RHsSignal:
+		return "hs-signal"
+	case RHsPoll:
+		return "hs-poll"
+	case RHsDone:
+		return "hs-done"
+	case RHsWaitAll:
+		return "hs-wait-all"
+	}
+	return fmt.Sprintf("ReqKind(%d)", int(k))
+}
+
+// Req is a request message α sent to the system.
+type Req struct {
+	P    cimp.PID // requesting process
+	Kind ReqKind
+	Loc  Loc         // for RRead/RWrite
+	Val  Val         // for RWrite
+	Mut  int         // mutator ordinal, for RHsSignal
+	HS   HSType      // for RHsStart
+	Tag  RoundTag    // for RHsStart
+	WM   heap.RefSet // for RHsDone: the transferred private work-list
+}
+
+func (r Req) String() string {
+	switch r.Kind {
+	case RRead:
+		return fmt.Sprintf("p%d read %v", r.P, r.Loc)
+	case RWrite:
+		return fmt.Sprintf("p%d write %v←%d", r.P, r.Loc, int64(r.Val))
+	case RHsStart:
+		return fmt.Sprintf("p%d hs-start %v/%v", r.P, r.HS, r.Tag)
+	case RHsSignal:
+		return fmt.Sprintf("p%d hs-signal m%d", r.P, r.Mut)
+	case RHsDone:
+		return fmt.Sprintf("p%d hs-done WM=%v", r.P, r.WM)
+	default:
+		return fmt.Sprintf("p%d %v", r.P, r.Kind)
+	}
+}
+
+// Resp is a response message β returned by the system.
+type Resp struct {
+	Val     Val         // for RRead
+	Ref     heap.Ref    // for RAlloc
+	W       heap.RefSet // for RHsWaitAll and RRefsSnapshot
+	Pending bool        // for RHsPoll
+	HS      HSType      // for RHsPoll
+	Tag     RoundTag    // for RHsPoll
+}
+
+func (r Resp) String() string {
+	return fmt.Sprintf("resp{val=%d ref=%d W=%v}", int64(r.Val), r.Ref, r.W)
+}

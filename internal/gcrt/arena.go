@@ -1,0 +1,213 @@
+// Package gcrt is an executable implementation of the verified collector
+// kernel: an on-the-fly, concurrent mark-sweep garbage collector in the
+// style of Schism's core (paper §2), running real mutator goroutines
+// against a simulated heap arena.
+//
+// The arena substitutes for the raw memory Schism manages: Go's own
+// garbage collector owns the host process, so this collector manages
+// object slots inside a pre-allocated arena instead — the two collectors
+// cannot interfere, while every algorithmically relevant memory access
+// (mark flags, control variables, reference fields) goes through
+// sync/atomic operations, which on x86 compile to exactly the plain
+// MOV / locked CMPXCHG discipline the paper models: plain stores are
+// TSO-buffered, the marking CAS is a locked instruction, and the
+// handshake fences are sequentially consistent.
+//
+// The kernel reproduces, at runtime scale, the structures verified in
+// the model (package gcmodel): the mark-sense flip (f_M), allocation
+// color (f_A), the four-round initialization handshake sequence, ragged
+// root-marking and mark-loop-termination handshakes, the Figure 5 mark
+// with its CAS-only-on-race fast path, and the Figure 6 mutator
+// operations with deletion and insertion barriers.
+package gcrt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Obj is an object identifier: a slot index in the arena, or NilObj.
+type Obj int32
+
+// NilObj is the NULL reference.
+const NilObj Obj = -1
+
+// Header bits.
+const (
+	hdrFlag  uint32 = 1 << 0 // the mark flag; "marked" iff equal to f_M
+	hdrAlloc uint32 = 1 << 1 // the slot holds a live object
+)
+
+// Arena is the simulated heap: a fixed pool of object slots, each with a
+// header word (mark flag + allocated bit) and a fixed number of
+// reference fields.
+type Arena struct {
+	nslots  int
+	nfields int
+	headers []atomic.Uint32
+	fields  []atomic.Int32 // slot i's fields at [i*nfields, (i+1)*nfields)
+
+	freeMu sync.Mutex
+	free   []Obj
+
+	// Faults counts accesses to unallocated slots — the observable
+	// consequence of a lost object. Zero in the verified configuration;
+	// non-zero under ablation.
+	Faults atomic.Int64
+}
+
+// NewArena creates an arena of nslots objects with nfields reference
+// fields each.
+func NewArena(nslots, nfields int) *Arena {
+	a := &Arena{
+		nslots:  nslots,
+		nfields: nfields,
+		headers: make([]atomic.Uint32, nslots),
+		fields:  make([]atomic.Int32, nslots*nfields),
+		free:    make([]Obj, 0, nslots),
+	}
+	for i := nslots - 1; i >= 0; i-- {
+		a.free = append(a.free, Obj(i))
+	}
+	return a
+}
+
+// NumSlots reports the arena capacity.
+func (a *Arena) NumSlots() int { return a.nslots }
+
+// NumFields reports the per-object field count.
+func (a *Arena) NumFields() int { return a.nfields }
+
+// Allocated reports whether the slot holds a live object.
+func (a *Arena) Allocated(o Obj) bool {
+	return o != NilObj && a.headers[o].Load()&hdrAlloc != 0
+}
+
+// fault records a touch of a dead slot (a lost-object symptom) and
+// returns NilObj for the caller to propagate.
+func (a *Arena) fault() Obj {
+	a.Faults.Add(1)
+	return NilObj
+}
+
+// LoadField reads field f of object o (a plain x86 load).
+func (a *Arena) LoadField(o Obj, f int) Obj {
+	if !a.Allocated(o) {
+		return a.fault()
+	}
+	return Obj(a.fields[int(o)*a.nfields+f].Load())
+}
+
+// StoreField writes field f of object o (a plain x86 store). Callers
+// must apply the write barriers first; use Mutator.Store.
+func (a *Arena) StoreField(o Obj, f int, v Obj) {
+	if !a.Allocated(o) {
+		a.fault()
+		return
+	}
+	a.fields[int(o)*a.nfields+f].Store(int32(v))
+}
+
+// flag reads the raw mark flag of o.
+func (a *Arena) flag(o Obj) bool {
+	return a.headers[o].Load()&hdrFlag != 0
+}
+
+// casFlag attempts to set the mark flag of o from old to new, preserving
+// the allocated bit: the single locked CMPXCHG of Figure 5. It fails only
+// if another thread changed the header first.
+func (a *Arena) casFlag(o Obj, old, new bool) bool {
+	for {
+		h := a.headers[o].Load()
+		if h&hdrAlloc == 0 {
+			a.fault()
+			return false
+		}
+		cur := h&hdrFlag != 0
+		if cur != old {
+			return false // some other thread won the race
+		}
+		nh := h &^ hdrFlag
+		if new {
+			nh |= hdrFlag
+		}
+		if a.headers[o].CompareAndSwap(h, nh) {
+			return true
+		}
+	}
+}
+
+// alloc pops a free slot, installs a live object with the given flag and
+// NULL fields, and returns it; NilObj when the arena is exhausted.
+func (a *Arena) alloc(flag bool) Obj {
+	a.freeMu.Lock()
+	if len(a.free) == 0 {
+		a.freeMu.Unlock()
+		return NilObj
+	}
+	o := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.freeMu.Unlock()
+
+	base := int(o) * a.nfields
+	for i := 0; i < a.nfields; i++ {
+		a.fields[base+i].Store(int32(NilObj))
+	}
+	h := hdrAlloc
+	if flag {
+		h |= hdrFlag
+	}
+	a.headers[o].Store(h)
+	return o
+}
+
+// release returns a slot to the free list (sweep only).
+func (a *Arena) release(o Obj) {
+	a.headers[o].Store(0)
+	a.freeMu.Lock()
+	a.free = append(a.free, o)
+	a.freeMu.Unlock()
+}
+
+// SetFlagForBenchmark forces o's raw mark flag; benchmarks only.
+func (a *Arena) SetFlagForBenchmark(o Obj, flag bool) {
+	h := a.headers[o].Load() &^ hdrFlag
+	if flag {
+		h |= hdrFlag
+	}
+	a.headers[o].Store(h)
+}
+
+// WhitenForBenchmark resets o's mark flag to the unmarked sense (the
+// opposite of fM). It exists solely so benchmarks can re-measure the
+// marking CAS on the same object; it has no legitimate collector use.
+func (a *Arena) WhitenForBenchmark(o Obj, fM bool) {
+	h := a.headers[o].Load() &^ hdrFlag
+	if !fM {
+		h |= hdrFlag
+	}
+	a.headers[o].Store(h)
+}
+
+// LiveCount counts allocated slots (O(n); diagnostics and tests).
+func (a *Arena) LiveCount() int {
+	n := 0
+	for i := range a.headers {
+		if a.headers[i].Load()&hdrAlloc != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeCount reports the free-list length.
+func (a *Arena) FreeCount() int {
+	a.freeMu.Lock()
+	defer a.freeMu.Unlock()
+	return len(a.free)
+}
+
+func (a *Arena) String() string {
+	return fmt.Sprintf("arena{slots=%d fields=%d live=%d}", a.nslots, a.nfields, a.LiveCount())
+}

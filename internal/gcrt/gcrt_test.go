@@ -1,0 +1,409 @@
+package gcrt
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// reachable walks the arena from the given roots and returns the set of
+// reachable objects. Callers must quiesce the mutators first.
+func reachable(a *Arena, roots []Obj) map[Obj]bool {
+	seen := make(map[Obj]bool)
+	var stack []Obj
+	for _, r := range roots {
+		if r != NilObj && a.Allocated(r) && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for f := 0; f < a.NumFields(); f++ {
+			c := a.LoadField(o, f)
+			if c != NilObj && a.Allocated(c) && !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}
+
+func TestSingleMutatorBasicCycle(t *testing.T) {
+	rt := New(Options{Slots: 64, Fields: 2, Mutators: 1})
+	m := rt.Mutator(0)
+
+	// Build a 3-node list: a → b → c.
+	a := m.Alloc()
+	b := m.Alloc()
+	c := m.Alloc()
+	m.Store(a, 0, b)
+	m.Store(b, 0, c)
+	// Garbage: an unreachable pair.
+	g1 := m.Alloc()
+	g2 := m.Alloc()
+	m.Store(g1, 0, g2)
+	m.Discard(g2)
+	m.Discard(g1)
+
+	if live := rt.Arena().LiveCount(); live != 5 {
+		t.Fatalf("live = %d, want 5", live)
+	}
+
+	m.Park() // the collector handles handshakes for a parked mutator
+	rt.Collect()
+	rt.Collect() // snapshot floating garbage dies by the second cycle
+	m.Unpark()
+
+	if got := rt.Arena().LiveCount(); got != 3 {
+		t.Fatalf("after collection live = %d, want 3 (a,b,c)", got)
+	}
+	for _, r := range m.Roots() {
+		if !rt.Arena().Allocated(r) {
+			t.Fatalf("root %d freed", r)
+		}
+	}
+	if m.Load(a, 0) == -1 || rt.Arena().LoadField(m.Root(b), 0) != m.Root(c) {
+		t.Fatal("list structure damaged by collection")
+	}
+	if f := rt.Arena().Faults.Load(); f != 0 {
+		t.Fatalf("faults = %d", f)
+	}
+}
+
+func TestAllocationFailsWhenExhaustedAndRecoversAfterGC(t *testing.T) {
+	rt := New(Options{Slots: 8, Fields: 1, Mutators: 1})
+	m := rt.Mutator(0)
+	for i := 0; i < 8; i++ {
+		if m.Alloc() == -1 {
+			t.Fatalf("alloc %d failed with free slots", i)
+		}
+	}
+	if m.Alloc() != -1 {
+		t.Fatal("alloc succeeded on full arena")
+	}
+	m.DiscardAll()
+	m.Park()
+	rt.Collect()
+	rt.Collect()
+	m.Unpark()
+	if m.Alloc() == -1 {
+		t.Fatal("alloc failed after everything was reclaimed")
+	}
+}
+
+func TestFloatingGarbageReclaimedWithinTwoCycles(t *testing.T) {
+	// E15: an object made unreachable right after the snapshot survives
+	// the current cycle (floating garbage) but not the next.
+	rt := New(Options{Slots: 32, Fields: 1, Mutators: 1})
+	m := rt.Mutator(0)
+	keep := m.Alloc()
+	float := m.Alloc()
+	obj := m.Root(float)
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+
+	// Pass the root-marking handshake (round 5) with float still rooted.
+	m.AwaitHandshakes(5)
+	// Now drop it: it was in the snapshot, so this cycle must retain it.
+	m.Discard(float)
+	m.Park()
+	<-done
+
+	if !rt.Arena().Allocated(obj) {
+		t.Fatal("snapshot-reachable object freed in the same cycle")
+	}
+	// The next cycle reclaims it.
+	rt.Collect()
+	m.Unpark()
+	if rt.Arena().Allocated(obj) {
+		t.Fatal("floating garbage survived a second cycle")
+	}
+	if !rt.Arena().Allocated(m.Root(keep)) {
+		t.Fatal("live object freed")
+	}
+	if f := rt.Arena().Faults.Load(); f != 0 {
+		t.Fatalf("faults = %d", f)
+	}
+}
+
+func TestAllocatedDuringMarkSurvives(t *testing.T) {
+	// Objects allocated after the roots snapshot are allocated black
+	// (f_A = f_M) and must survive the cycle even if never traced.
+	rt := New(Options{Slots: 32, Fields: 1, Mutators: 1})
+	m := rt.Mutator(0)
+	pre := m.Alloc()
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(5) // snapshot taken
+	mid := m.Alloc()     // allocated black during marking
+	midObj := m.Root(mid)
+	m.Park()
+	<-done
+
+	if !rt.Arena().Allocated(midObj) {
+		t.Fatal("object allocated during marking was swept")
+	}
+	if !rt.Arena().Allocated(m.Root(pre)) {
+		t.Fatal("pre-cycle root was swept")
+	}
+	m.Unpark()
+}
+
+// TestLostObjectWithoutDeletionBarrier reproduces, deterministically, the
+// classic snapshot failure (E11): with the deletion barrier ablated, a
+// reference loaded from the heap after the mutator's root scan becomes
+// the sole witness to an object once the heap edge is overwritten; the
+// collector never learns of it and frees a reachable object.
+//
+// Determinism comes from a second, lagging mutator: the collector cannot
+// begin tracing until every mutator has completed the root-marking
+// round, so the first mutator's post-scan mischief happens strictly
+// before any tracing.
+func TestLostObjectWithoutDeletionBarrier(t *testing.T) {
+	rt := New(Options{Slots: 16, Fields: 1, Mutators: 2, NoDeletionBarrier: true})
+	m1, m2 := rt.Mutator(0), rt.Mutator(1)
+
+	h := m1.Alloc()
+	x := m1.Alloc()
+	m1.Store(h, 0, x) // h.f = x
+	m1.Discard(x)     // x reachable only via h
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+
+	// Drive both mutators through the four initialization rounds.
+	for m1.Served() < 4 || m2.Served() < 4 {
+		m1.SafePoint()
+		m2.SafePoint()
+	}
+	// m1 completes root marking (roots = {h}; h marked, x not);
+	// m2 lags, so the collector is still blocked in the round.
+	m1.AwaitHandshakes(5)
+
+	// Behind the wavefront: load x into the roots (no read barrier) and
+	// erase the heap edge. With the deletion barrier the overwrite would
+	// have shaded x; ablated, x stays white while rooted by m1.
+	xr := m1.Load(h, 0)
+	if xr == -1 {
+		t.Fatal("setup: h.f empty")
+	}
+	xObj := m1.Root(xr)
+	m1.Store(h, 0, -1)
+
+	// Only now does m2 let the round complete; tracing starts with no
+	// path to x anywhere in the heap.
+	m2.AwaitHandshakes(5)
+	m1.Park()
+	m2.Park()
+	<-done
+	m1.Unpark()
+	m2.Unpark()
+
+	if rt.Arena().Allocated(xObj) {
+		t.Fatal("ablation did not bite: x survived")
+	}
+	// Touching the lost object faults: the observable crash.
+	if m1.Load(xr, 0) != -1 {
+		t.Fatal("load from freed object returned a value")
+	}
+	if f := rt.Arena().Faults.Load(); f == 0 {
+		t.Fatal("no fault recorded for lost object")
+	}
+}
+
+// TestLostObjectWithAllocWhite reproduces the allocation-color ablation
+// (E11): objects allocated white after the snapshot are never marked and
+// are swept while still rooted.
+func TestLostObjectWithAllocWhite(t *testing.T) {
+	rt := New(Options{Slots: 16, Fields: 1, Mutators: 1, AllocWhite: true})
+	m := rt.Mutator(0)
+	pre := m.Alloc() // ensures the mark loop runs a get-work round
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(5) // snapshot done; the collector now blocks on
+	// the mark-termination handshake until we park, so the sweep cannot
+	// start before the allocation below.
+	fresh := m.Alloc() // allocated white under the ablation
+	freshObj := m.Root(fresh)
+	m.Park()
+	<-done
+	m.Unpark()
+
+	if rt.Arena().Allocated(freshObj) {
+		t.Fatal("ablation did not bite: white-allocated object survived")
+	}
+	if !rt.Arena().Allocated(m.Root(pre)) {
+		t.Fatal("rooted pre-cycle object swept")
+	}
+}
+
+// TestConcurrentStress runs real mutator goroutines against a cycling
+// collector and checks that no reachable object is ever lost. Run with
+// -race to exercise the Go-level memory discipline too.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		nMut   = 4
+		slots  = 512
+		fields = 2
+		cycles = 25
+	)
+	rt := New(Options{Slots: slots, Fields: fields, Mutators: nMut})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < nMut; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := rt.Mutator(id)
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 17))
+			m.Alloc()
+			for {
+				select {
+				case <-stop:
+					m.Park()
+					return
+				default:
+				}
+				switch n := m.NumRoots(); {
+				case n == 0:
+					m.Alloc()
+				case n > 24:
+					m.Discard(rng.Intn(n))
+				default:
+					switch rng.Intn(5) {
+					case 0:
+						m.Alloc()
+					case 1:
+						m.Load(rng.Intn(n), rng.Intn(fields))
+					case 2:
+						dst := rng.Intn(n)
+						if rng.Intn(4) == 0 {
+							dst = -1
+						}
+						m.Store(rng.Intn(n), rng.Intn(fields), dst)
+					case 3:
+						m.Discard(rng.Intn(n))
+					case 4:
+						m.SafePoint()
+					}
+				}
+				m.SafePoint()
+			}
+		}(i)
+	}
+
+	for c := 0; c < cycles; c++ {
+		rt.Collect()
+	}
+	close(stop)
+	wg.Wait()
+
+	if f := rt.Arena().Faults.Load(); f != 0 {
+		t.Fatalf("%d faults (lost objects) under the verified configuration", f)
+	}
+
+	// Quiesced check: everything reachable from the roots is allocated.
+	var roots []Obj
+	for i := 0; i < nMut; i++ {
+		roots = append(roots, rt.Mutator(i).Roots()...)
+	}
+	for _, r := range roots {
+		if !rt.Arena().Allocated(r) {
+			t.Fatalf("dangling root %d after stress", r)
+		}
+	}
+	reach := reachable(rt.Arena(), roots)
+	for o := range reach {
+		if !rt.Arena().Allocated(o) {
+			t.Fatalf("reachable object %d not allocated", o)
+		}
+	}
+
+	// Two quiesced cycles reclaim all garbage: live count == reachable.
+	rt.Collect()
+	rt.Collect()
+	var roots2 []Obj
+	for i := 0; i < nMut; i++ {
+		roots2 = append(roots2, rt.Mutator(i).Roots()...)
+	}
+	reach2 := reachable(rt.Arena(), roots2)
+	if got := rt.Arena().LiveCount(); got != len(reach2) {
+		t.Fatalf("after quiesced cycles: live=%d reachable=%d (garbage retained)", got, len(reach2))
+	}
+	t.Logf("stats: %v", rt.Stats())
+}
+
+func TestMarkFastPathSkipsCAS(t *testing.T) {
+	rt := New(Options{Slots: 8, Fields: 1, Mutators: 1})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	b := m.Alloc()
+
+	// Collector idle: stores run the barriers, but phase=Idle means no
+	// CAS is ever attempted (Figure 5 line 4).
+	m.Store(a, 0, b)
+	s := rt.Stats()
+	if s.MarkCAS != 0 {
+		t.Fatalf("CAS attempted while idle: %d", s.MarkCAS)
+	}
+
+	// During marking, the first mark of an unmarked object CASes; a
+	// second mark of the same object takes the fast path (§2.3).
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(4) // barriers enabled, marking imminent
+	before := rt.Stats()
+	m.Store(a, 0, b) // insertion barrier marks b (CAS), deletion barrier marks b (fast or CAS)
+	m.Store(a, 0, b) // both barriers now fast-path on marked b
+	after := rt.Stats()
+	if after.MarkCAS == before.MarkCAS {
+		t.Fatal("no CAS during marking phase")
+	}
+	if after.MarkFast == before.MarkFast {
+		t.Fatal("no fast-path marks on already-marked object")
+	}
+	m.Park()
+	<-done
+	m.Unpark()
+}
+
+func TestParkAllowsCollectionWithoutSafePoints(t *testing.T) {
+	rt := New(Options{Slots: 16, Fields: 1, Mutators: 2})
+	m0, m1 := rt.Mutator(0), rt.Mutator(1)
+	a := m0.Alloc()
+	m1.Alloc()
+	m0.Park()
+	m1.Park()
+	rt.Collect() // must not deadlock with both mutators parked
+	m0.Unpark()
+	m1.Unpark()
+	if !rt.Arena().Allocated(m0.Root(a)) {
+		t.Fatal("parked mutator's root swept")
+	}
+	if rt.Stats().Cycles != 1 {
+		t.Fatal("cycle did not complete")
+	}
+}
+
+func TestDiscardKeepsIndexSemantics(t *testing.T) {
+	rt := New(Options{Slots: 8, Fields: 1, Mutators: 1})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	b := m.Alloc()
+	c := m.Alloc()
+	objB, objC := m.Root(b), m.Root(c)
+	m.Discard(a) // c moves into slot a
+	if m.NumRoots() != 2 {
+		t.Fatalf("roots = %d", m.NumRoots())
+	}
+	if m.Root(0) != objC || m.Root(1) != objB {
+		t.Fatal("swap-remove semantics violated")
+	}
+}

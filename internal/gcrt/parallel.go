@@ -1,0 +1,105 @@
+package gcrt
+
+import (
+	"sync"
+)
+
+// This file implements the multi-threaded-collector extension the paper
+// sketches (§1): "The collector we model runs concurrently with mutator
+// threads, but is not in itself parallel. Our model (and implementation)
+// could, with some effort, be extended to a multi-threaded collector."
+//
+// With Options.MarkWorkers > 1, the mark loop's tracing is performed by
+// a pool of workers sharing a queue. The design leans on exactly the
+// properties the verification establishes for the single-threaded
+// collector: marking is a CAS race with one winner (Figure 5), so two
+// workers tracing the same object cannot double-add it to a work-list,
+// and work-list entries are exclusively owned, so queue items are
+// processed exactly once. The handshake structure is untouched — the
+// collector control thread still runs the Figure 2 cycle.
+
+// traceAll drains the work queue, tracing children, until no work
+// remains; with workers > 1 the tracing is parallel. It returns the
+// number of objects scanned.
+func (rt *Runtime) traceAll(workers int) int {
+	if workers <= 1 {
+		return rt.traceSerial()
+	}
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		queue  = rt.drainQueue()
+		active = 0
+		done   = false
+		count  = 0
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []Obj
+			for {
+				mu.Lock()
+				for len(queue) == 0 && !done {
+					if active == 0 {
+						// No one is working and no work remains: over.
+						done = true
+						cond.Broadcast()
+						break
+					}
+					cond.Wait()
+				}
+				if done && len(queue) == 0 {
+					mu.Unlock()
+					return
+				}
+				src := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				active++
+				mu.Unlock()
+
+				scratch = scratch[:0]
+				for f := 0; f < rt.arena.NumFields(); f++ {
+					child := rt.arena.LoadField(src, f)
+					if child != NilObj {
+						rt.mark(child, &scratch)
+					}
+				}
+				rt.stats.scanned.Add(1)
+
+				mu.Lock()
+				count++
+				queue = append(queue, scratch...)
+				active--
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// traceSerial is the single-threaded tracing the paper verifies.
+func (rt *Runtime) traceSerial() int {
+	count := 0
+	work := rt.drainQueue()
+	var scratch []Obj
+	for len(work) > 0 {
+		src := work[len(work)-1]
+		work = work[:len(work)-1]
+		for f := 0; f < rt.arena.NumFields(); f++ {
+			child := rt.arena.LoadField(src, f)
+			if child == NilObj {
+				continue
+			}
+			scratch = scratch[:0]
+			rt.mark(child, &scratch)
+			work = append(work, scratch...)
+		}
+		rt.stats.scanned.Add(1)
+		count++
+	}
+	return count
+}

@@ -1,0 +1,281 @@
+package gcrt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase is the collector's control state (paper Figure 2).
+type Phase int32
+
+const (
+	PhIdle Phase = iota
+	PhInit
+	PhMark
+	PhSweep
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhIdle:
+		return "Idle"
+	case PhInit:
+		return "Init"
+	case PhMark:
+		return "Mark"
+	case PhSweep:
+		return "Sweep"
+	}
+	return fmt.Sprintf("Phase(%d)", int32(p))
+}
+
+// HSType is the handshake type (§2.2).
+type HSType int32
+
+const (
+	HSNoop HSType = iota
+	HSGetRoots
+	HSGetWork
+)
+
+// Options configures the runtime kernel, including the ablation switches
+// used by the necessity experiments — never disable barriers in real use.
+type Options struct {
+	// Slots and Fields size the arena.
+	Slots, Fields int
+	// Mutators is the number of registered mutator threads.
+	Mutators int
+
+	// NoDeletionBarrier and NoInsertionBarrier reproduce the E11
+	// ablations at runtime scale: expect lost objects (arena faults).
+	NoDeletionBarrier  bool
+	NoInsertionBarrier bool
+	// AllocWhite allocates with the unmarked sense in every phase (E11).
+	AllocWhite bool
+
+	// AllocPoolSize sets the per-mutator allocation pool size used by
+	// AllocPooled (0 picks a default of 16). See pool.go.
+	AllocPoolSize int
+	// MarkWorkers sets the number of tracing workers in the mark loop
+	// (0 or 1 = single-threaded, the configuration the paper verifies;
+	// >1 exercises the multi-threaded-collector extension sketched in
+	// §1). Marking is CAS-idempotent, so workers race safely.
+	MarkWorkers int
+}
+
+// Runtime is the collector kernel: shared control state, the arena, the
+// handshake mailboxes, and the collector's work queue.
+type Runtime struct {
+	opt   Options
+	arena *Arena
+
+	// Control variables; shared with mutators and read racily by design
+	// (§2.4): the write barriers tolerate stale values.
+	fM    atomic.Bool
+	fA    atomic.Bool
+	phase atomic.Int32
+
+	// Handshake state.
+	hsType atomic.Int32
+	muts   []*Mutator
+
+	// stw is the world-stop protocol state used by the stop-the-world
+	// baseline (stw.go).
+	stw atomic.Int32
+
+	// The collector's work queue; mutators transfer their private
+	// work-lists here when completing get-roots/get-work handshakes.
+	// Schism transfers work-lists with wait-free list splicing; a mutex
+	// is contention-equivalent at handshake granularity and keeps the
+	// kernel readable.
+	wqMu sync.Mutex
+	wq   []Obj
+
+	stats Stats
+}
+
+// New creates a runtime and its mutator handles.
+func New(opt Options) *Runtime {
+	if opt.Slots <= 0 || opt.Fields <= 0 || opt.Mutators <= 0 {
+		panic("gcrt: Slots, Fields and Mutators must be positive")
+	}
+	rt := &Runtime{
+		opt:   opt,
+		arena: NewArena(opt.Slots, opt.Fields),
+	}
+	for i := 0; i < opt.Mutators; i++ {
+		rt.muts = append(rt.muts, &Mutator{rt: rt, id: i})
+	}
+	return rt
+}
+
+// Arena exposes the heap arena (diagnostics and tests).
+func (rt *Runtime) Arena() *Arena { return rt.arena }
+
+// Mutator returns the i-th mutator handle. Each handle must be used from
+// a single goroutine.
+func (rt *Runtime) Mutator(i int) *Mutator { return rt.muts[i] }
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() StatsSnapshot { return rt.stats.snapshot() }
+
+// Phase reads the collector phase (racy, as mutators do).
+func (rt *Runtime) Phase() Phase { return Phase(rt.phase.Load()) }
+
+// FM reads the current mark sense.
+func (rt *Runtime) FM() bool { return rt.fM.Load() }
+
+// transfer splices a private work-list into the collector's queue.
+func (rt *Runtime) transfer(wl []Obj) {
+	if len(wl) == 0 {
+		return
+	}
+	rt.wqMu.Lock()
+	rt.wq = append(rt.wq, wl...)
+	rt.wqMu.Unlock()
+}
+
+// drainQueue removes and returns the whole work queue.
+func (rt *Runtime) drainQueue() []Obj {
+	rt.wqMu.Lock()
+	wq := rt.wq
+	rt.wq = nil
+	rt.wqMu.Unlock()
+	return wq
+}
+
+// handshake performs one ragged round of soft handshakes (Figure 4): set
+// the type, signal every mutator, and wait until all have responded at a
+// GC-safe point. The atomic stores/loads provide the paper's fence
+// discipline (store fence at initiation, load fence at collection).
+func (rt *Runtime) handshake(t HSType) {
+	start := time.Now()
+	rt.hsType.Store(int32(t))
+	for _, m := range rt.muts {
+		m.pending.Store(true)
+	}
+	for _, m := range rt.muts {
+		spin := 0
+		for m.pending.Load() {
+			// A parked mutator sits at a permanent safe point; the
+			// collector performs its handshake work on its behalf
+			// (Schism treats blocked threads the same way). The park
+			// lock excludes Unpark while the collector touches the
+			// mutator's roots and work-list.
+			m.parkMu.Lock()
+			if m.parked.Load() && m.pending.CompareAndSwap(true, false) {
+				rt.collectorSideHandshake(m, t)
+				m.served.Add(1)
+			}
+			m.parkMu.Unlock()
+			spin++
+			if spin%64 == 0 {
+				time.Sleep(10 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+	rt.stats.handshakes.Add(1)
+	rt.stats.handshakeNanos.Add(time.Since(start).Nanoseconds())
+	if t == HSGetRoots {
+		rt.stats.rootsRounds.Add(1)
+	}
+}
+
+// collectorSideHandshake performs m's handshake work while m is parked.
+// The caller holds m.parkMu, so Unpark (and hence any mutator activity)
+// is excluded until the work completes.
+func (rt *Runtime) collectorSideHandshake(m *Mutator, t HSType) {
+	switch t {
+	case HSGetRoots:
+		for _, r := range m.roots {
+			rt.mark(r, &m.wl)
+		}
+		rt.transfer(m.wl)
+		m.wl = m.wl[:0]
+	case HSGetWork:
+		rt.transfer(m.wl)
+		m.wl = m.wl[:0]
+	}
+}
+
+// mark is Figure 5: test the flag against the expected (unmarked) sense,
+// and only then attempt the CAS; the winner takes the object grey by
+// appending it to the work-list wl.
+func (rt *Runtime) mark(ref Obj, wl *[]Obj) {
+	if ref == NilObj {
+		return
+	}
+	fM := rt.fM.Load()
+	expected := !fM
+	if rt.arena.Allocated(ref) && rt.arena.flag(ref) == expected {
+		if Phase(rt.phase.Load()) != PhIdle {
+			rt.stats.markCAS.Add(1)
+			if rt.arena.casFlag(ref, expected, fM) {
+				*wl = append(*wl, ref) // we win: ref is grey
+				rt.stats.marked.Add(1)
+			}
+		}
+	} else {
+		rt.stats.markFast.Add(1)
+	}
+}
+
+// Collect runs one full collection cycle (Figure 2) and returns the
+// number of objects freed. It must be called from a single collector
+// goroutine.
+func (rt *Runtime) Collect() int {
+	cycleStart := time.Now()
+
+	// Lines 3–4: everyone knows the collector is idle; heap is black.
+	rt.handshake(HSNoop)
+	// Line 5: flip the sense of the marks; heap becomes white.
+	rt.fM.Store(!rt.fM.Load())
+	rt.handshake(HSNoop)
+	// Line 8: enable write barriers.
+	rt.phase.Store(int32(PhInit))
+	rt.handshake(HSNoop)
+	// Lines 11–12: marking begins; allocate black.
+	rt.phase.Store(int32(PhMark))
+	if !rt.opt.AllocWhite {
+		rt.fA.Store(rt.fM.Load())
+	}
+	rt.handshake(HSNoop)
+
+	// Lines 15–20: snapshot the mutator roots.
+	rt.handshake(HSGetRoots)
+
+	// Lines 24–34: trace until no grey references remain anywhere; the
+	// tracing itself runs on Options.MarkWorkers workers (parallel.go).
+	for {
+		if rt.traceAll(rt.opt.MarkWorkers) == 0 {
+			break
+		}
+		// Lines 31–34: poll the mutators for barrier-shaded greys.
+		rt.handshake(HSGetWork)
+	}
+
+	// Lines 35–45: sweep all unmarked objects.
+	rt.phase.Store(int32(PhSweep))
+	freed := 0
+	fM := rt.fM.Load()
+	for i := 0; i < rt.arena.NumSlots(); i++ {
+		o := Obj(i)
+		h := rt.arena.headers[o].Load()
+		if h&hdrAlloc != 0 && (h&hdrFlag != 0) != fM {
+			rt.arena.release(o)
+			freed++
+		}
+	}
+	// Line 46.
+	rt.phase.Store(int32(PhIdle))
+
+	rt.stats.cycles.Add(1)
+	rt.stats.freed.Add(int64(freed))
+	rt.stats.cycleNanos.Add(time.Since(cycleStart).Nanoseconds())
+	return freed
+}

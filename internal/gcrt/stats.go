@@ -1,0 +1,70 @@
+package gcrt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats holds the runtime's internal counters.
+type Stats struct {
+	cycles         atomic.Int64
+	freed          atomic.Int64
+	marked         atomic.Int64
+	scanned        atomic.Int64
+	markFast       atomic.Int64 // mark() took the no-CAS fast path
+	markCAS        atomic.Int64 // mark() attempted the CAS
+	handshakes     atomic.Int64
+	handshakeNanos atomic.Int64
+	cycleNanos     atomic.Int64
+	rootsRounds    atomic.Int64
+}
+
+// StatsSnapshot is an immutable copy of the counters.
+type StatsSnapshot struct {
+	// Cycles is the number of completed collection cycles.
+	Cycles int64
+	// Freed is the total number of objects reclaimed by sweeps.
+	Freed int64
+	// Marked counts successful (winning) marks.
+	Marked int64
+	// Scanned counts objects traced (blackened) by the collector.
+	Scanned int64
+	// MarkFast counts mark() invocations that skipped the CAS because
+	// the flag already had the expected value — the §2.3 fast path.
+	MarkFast int64
+	// MarkCAS counts mark() invocations that attempted the CAS.
+	MarkCAS int64
+	// Handshakes is the number of handshake rounds completed.
+	Handshakes int64
+	// HandshakeTime is the cumulative collector-side handshake latency.
+	HandshakeTime time.Duration
+	// CycleTime is the cumulative collection-cycle duration.
+	CycleTime time.Duration
+	// RootsRounds counts root-marking handshake rounds: exactly one per
+	// cycle for the snapshot collector, one per rescan round for the
+	// incremental-update rescanning variant.
+	RootsRounds int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Cycles:        s.cycles.Load(),
+		Freed:         s.freed.Load(),
+		Marked:        s.marked.Load(),
+		Scanned:       s.scanned.Load(),
+		MarkFast:      s.markFast.Load(),
+		MarkCAS:       s.markCAS.Load(),
+		Handshakes:    s.handshakes.Load(),
+		HandshakeTime: time.Duration(s.handshakeNanos.Load()),
+		CycleTime:     time.Duration(s.cycleNanos.Load()),
+		RootsRounds:   s.rootsRounds.Load(),
+	}
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"cycles=%d freed=%d marked=%d scanned=%d fastpath=%d cas=%d handshakes=%d hsTime=%v cycleTime=%v",
+		s.Cycles, s.Freed, s.Marked, s.Scanned, s.MarkFast, s.MarkCAS,
+		s.Handshakes, s.HandshakeTime, s.CycleTime)
+}

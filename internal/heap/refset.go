@@ -1,0 +1,111 @@
+package heap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// RefSet is a set of references over a universe of at most MaxUniverse
+// references, represented as a bitmask. The zero value is the empty set.
+// RefSet is a value type: Add and friends return a new set.
+type RefSet uint64
+
+// MaxUniverse is the largest reference universe RefSet supports.
+const MaxUniverse = 64
+
+// SetOf builds a set from the given references.
+func SetOf(rs ...Ref) RefSet {
+	var s RefSet
+	for _, r := range rs {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// Add returns s ∪ {r}. Adding NilRef (or any negative value, such as the
+// poison references that arise only in deliberately ablated models) is a
+// no-op.
+func (s RefSet) Add(r Ref) RefSet {
+	if r < 0 {
+		return s
+	}
+	if r >= MaxUniverse {
+		panic(fmt.Sprintf("heap: ref %d outside RefSet universe", r))
+	}
+	return s | 1<<uint(r)
+}
+
+// Remove returns s ∖ {r}.
+func (s RefSet) Remove(r Ref) RefSet {
+	if r == NilRef || r < 0 || r >= MaxUniverse {
+		return s
+	}
+	return s &^ (1 << uint(r))
+}
+
+// Has reports whether r ∈ s.
+func (s RefSet) Has(r Ref) bool {
+	if r == NilRef || r < 0 || r >= MaxUniverse {
+		return false
+	}
+	return s&(1<<uint(r)) != 0
+}
+
+// Union returns s ∪ t.
+func (s RefSet) Union(t RefSet) RefSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s RefSet) Intersect(t RefSet) RefSet { return s & t }
+
+// Minus returns s ∖ t.
+func (s RefSet) Minus(t RefSet) RefSet { return s &^ t }
+
+// Empty reports whether the set is empty.
+func (s RefSet) Empty() bool { return s == 0 }
+
+// Len reports the cardinality of the set.
+func (s RefSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// SubsetOf reports whether s ⊆ t.
+func (s RefSet) SubsetOf(t RefSet) bool { return s&^t == 0 }
+
+// Each calls f on every member in ascending order.
+func (s RefSet) Each(f func(Ref)) {
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		f(Ref(i))
+		v &^= 1 << uint(i)
+	}
+}
+
+// Refs returns the members in ascending order.
+func (s RefSet) Refs() []Ref {
+	out := make([]Ref, 0, s.Len())
+	s.Each(func(r Ref) { out = append(out, r) })
+	return out
+}
+
+// Any returns an arbitrary member, or NilRef if empty.
+func (s RefSet) Any() Ref {
+	if s == 0 {
+		return NilRef
+	}
+	return Ref(bits.TrailingZeros64(uint64(s)))
+}
+
+// String renders the set, e.g. "{0 2 5}".
+func (s RefSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Each(func(r Ref) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", r)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package heap
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefSetBasics(t *testing.T) {
+	var s RefSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero value is not the empty set")
+	}
+	s = s.Add(3).Add(0).Add(3)
+	if s.Len() != 2 || !s.Has(3) || !s.Has(0) || s.Has(1) {
+		t.Fatalf("set = %v", s)
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Len() != 1 {
+		t.Fatalf("after remove: %v", s)
+	}
+	if s.Any() != 0 {
+		t.Fatalf("Any = %d", s.Any())
+	}
+	if RefSet(0).Any() != NilRef {
+		t.Fatal("Any of empty set should be NilRef")
+	}
+}
+
+func TestRefSetNilAndNegative(t *testing.T) {
+	var s RefSet
+	s = s.Add(NilRef)
+	if !s.Empty() {
+		t.Fatal("adding NilRef changed the set")
+	}
+	s = s.Add(-2) // poison ref from an ablated model
+	if !s.Empty() {
+		t.Fatal("adding a negative ref changed the set")
+	}
+	if s.Has(NilRef) || s.Has(-2) {
+		t.Fatal("Has on invalid refs")
+	}
+	s = s.Remove(NilRef)
+	if !s.Empty() {
+		t.Fatal("Remove(NilRef) changed the set")
+	}
+}
+
+func TestRefSetAlgebra(t *testing.T) {
+	a := SetOf(0, 1, 2)
+	b := SetOf(2, 3)
+	if got := a.Union(b); got != SetOf(0, 1, 2, 3) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.Intersect(b); got != SetOf(2) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Minus(b); got != SetOf(0, 1) {
+		t.Fatalf("minus = %v", got)
+	}
+	if !SetOf(1).SubsetOf(a) || a.SubsetOf(b) {
+		t.Fatal("subset relations wrong")
+	}
+}
+
+func TestRefSetEachAscending(t *testing.T) {
+	s := SetOf(5, 1, 9)
+	var got []Ref
+	s.Each(func(r Ref) { got = append(got, r) })
+	if !reflect.DeepEqual(got, []Ref{1, 5, 9}) {
+		t.Fatalf("Each order = %v", got)
+	}
+	if !reflect.DeepEqual(s.Refs(), got) {
+		t.Fatal("Refs disagrees with Each")
+	}
+}
+
+func TestRefSetString(t *testing.T) {
+	if got := SetOf(0, 2).String(); got != "{0 2}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := RefSet(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: Add then Remove restores the original set when the element
+// was absent.
+func TestRefSetAddRemoveQuick(t *testing.T) {
+	f := func(bits uint64, e uint8) bool {
+		s := RefSet(bits)
+		r := Ref(e % 64)
+		if s.Has(r) {
+			return s.Add(r) == s
+		}
+		return s.Add(r).Remove(r) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len equals the number of elements Each visits.
+func TestRefSetLenQuick(t *testing.T) {
+	f := func(bits uint64) bool {
+		s := RefSet(bits)
+		n := 0
+		s.Each(func(Ref) { n++ })
+		return n == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan over a finite universe.
+func TestRefSetDeMorganQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		u := ^RefSet(0)
+		x, y := RefSet(a), RefSet(b)
+		return u.Minus(x.Union(y)) == u.Minus(x).Intersect(u.Minus(y)) &&
+			u.Minus(x.Intersect(y)) == u.Minus(x).Union(u.Minus(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

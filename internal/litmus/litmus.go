@@ -1,0 +1,391 @@
+// Package litmus provides the published x86-TSO litmus tests (Sewell et
+// al., CACM 2010) used to validate the TSO substrate of this
+// reproduction (experiments E8 and E13): the store-buffering behaviours
+// that distinguish TSO from sequential consistency, the behaviours TSO
+// forbids, and the effect of MFENCE and locked instructions.
+//
+// Each test is a small multi-threaded program over package tso, a
+// predicate on final outcomes, and the expected verdicts under TSO and
+// under the SC oracle.
+package litmus
+
+import (
+	"repro/internal/tso"
+)
+
+// Test is a litmus test: a program, a distinguished outcome predicate,
+// and whether that outcome is observable under each memory model.
+type Test struct {
+	// Name is the conventional litmus name, e.g. "SB" for store
+	// buffering.
+	Name string
+	// Description explains what behaviour the test witnesses.
+	Description string
+	// Prog is the thread program.
+	Prog tso.Program
+	// Witness identifies the outcome of interest.
+	Witness func(tso.Outcome) bool
+	// TSO and SC state whether the witness outcome is observable under
+	// each model.
+	TSO, SC bool
+}
+
+// Verdict is the result of running one test under one model.
+type Verdict struct {
+	Test      Test
+	Model     tso.Model
+	Observed  bool
+	Expected  bool
+	Outcomes  int
+	Witnesses int
+}
+
+// OK reports whether the observation matches the expectation.
+func (v Verdict) OK() bool { return v.Observed == v.Expected }
+
+// Run explores the test exhaustively under the model and reports whether
+// the witness outcome is observable.
+func Run(t Test, model tso.Model) Verdict {
+	outs := tso.Explore(t.Prog, model)
+	v := Verdict{Test: t, Model: model, Outcomes: len(outs)}
+	for _, o := range outs {
+		if t.Witness(o) {
+			v.Witnesses++
+		}
+	}
+	v.Observed = v.Witnesses > 0
+	if model == tso.TSO {
+		v.Expected = t.TSO
+	} else {
+		v.Expected = t.SC
+	}
+	return v
+}
+
+// RunAll runs every test under both models.
+func RunAll(tests []Test) []Verdict {
+	var out []Verdict
+	for _, t := range tests {
+		out = append(out, Run(t, tso.TSO), Run(t, tso.SC))
+	}
+	return out
+}
+
+// Addresses x and y; registers r0 and r1.
+const (
+	x = tso.Addr(0)
+	y = tso.Addr(1)
+	z = tso.Addr(2)
+
+	r0 = tso.Reg(0)
+	r1 = tso.Reg(1)
+)
+
+// All returns the full catalogue.
+func All() []Test {
+	return []Test{
+		SB(), SBFence(), SBCas(), SBOneFence(),
+		MP(), MPFence(),
+		LB(), R(), TwoPlusTwoW(),
+		CoWR(), CoWRFence(),
+		IRIW(),
+		WRC(),
+		CASExclusion(),
+		FetchAddSerial(),
+	}
+}
+
+// SB is the canonical store-buffering test: both threads can read 0,
+// which is forbidden under SC — the defining observable difference of
+// TSO (paper §2.4).
+func SB() Test {
+	return Test{
+		Name:        "SB",
+		Description: "store buffering: both loads may see 0 under TSO, never under SC",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.Ld{Dst: r0, Addr: y}},
+				{tso.St{Addr: y, Val: 1}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 0 && o.Regs[1][0] == 0 },
+		TSO:     true, SC: false,
+	}
+}
+
+// SBFence is SB with MFENCE between the store and the load in each
+// thread; the relaxed outcome disappears. This is the fence discipline
+// the collector's handshakes rely on (§2.4).
+func SBFence() Test {
+	return Test{
+		Name:        "SB+mfence",
+		Description: "store buffering fenced: MFENCE restores the SC outcome set",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.MFence{}, tso.Ld{Dst: r0, Addr: y}},
+				{tso.St{Addr: y, Val: 1}, tso.MFence{}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 0 && o.Regs[1][0] == 0 },
+		TSO:     false, SC: false,
+	}
+}
+
+// SBCas replaces the stores with locked CAS instructions, which flush the
+// buffer; the relaxed outcome disappears, as with the collector's marking
+// CAS (Figure 5).
+func SBCas() Test {
+	return Test{
+		Name:        "SB+cas",
+		Description: "store buffering via locked CMPXCHG: locked writes are immediately visible",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.CAS{Dst: r1, Addr: x, Old: 0, New: 1}, tso.Ld{Dst: r0, Addr: y}},
+				{tso.CAS{Dst: r1, Addr: y, Old: 0, New: 1}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 0 && o.Regs[1][0] == 0 },
+		TSO:     false, SC: false,
+	}
+}
+
+// MP is message passing: because TSO buffers drain in FIFO order, the
+// stale outcome r0=1 ∧ r1=0 is forbidden under TSO as well as SC.
+func MP() Test {
+	return Test{
+		Name:        "MP",
+		Description: "message passing: FIFO buffers forbid observing the flag without the data",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.St{Addr: y, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: y}, tso.Ld{Dst: r1, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[1][0] == 1 && o.Regs[1][1] == 0 },
+		TSO:     false, SC: false,
+	}
+}
+
+// MPFence is MP with fences, trivially forbidden too; included to pin the
+// fence implementation.
+func MPFence() Test {
+	return Test{
+		Name:        "MP+mfence",
+		Description: "fenced message passing remains forbidden",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.MFence{}, tso.St{Addr: y, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: y}, tso.Ld{Dst: r1, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[1][0] == 1 && o.Regs[1][1] == 0 },
+		TSO:     false, SC: false,
+	}
+}
+
+// LB is load buffering: forbidden under TSO (loads are not reordered
+// with later stores).
+func LB() Test {
+	return Test{
+		Name:        "LB",
+		Description: "load buffering: r0=1 ∧ r1=1 requires load-store reordering, forbidden on TSO",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.Ld{Dst: r0, Addr: x}, tso.St{Addr: y, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: y}, tso.St{Addr: x, Val: 1}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 1 && o.Regs[1][0] == 1 },
+		TSO:     false, SC: false,
+	}
+}
+
+// CoWR checks store-buffer forwarding: a thread always sees its own
+// latest store even before it commits, while another thread can still
+// see the old value.
+func CoWR() Test {
+	return Test{
+		Name:        "CoWR",
+		Description: "own stores are forwarded from the buffer; others may lag",
+		Prog: tso.Program{
+			NumAddrs: 1, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.Ld{Dst: r0, Addr: x}, tso.Ld{Dst: r1, Addr: x}},
+			},
+		},
+		// The writing thread must never read anything but 1.
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] != 1 || o.Regs[0][1] != 1 },
+		TSO:     false, SC: false,
+	}
+}
+
+// CoWRFence checks that a second thread CAN observe the pre-store value
+// while the store sits in the buffer (the "stale read" the collector's
+// control variables exhibit, Figure 3).
+func CoWRFence() Test {
+	return Test{
+		Name:        "CoWR+stale",
+		Description: "another thread reads the stale value while the store is buffered",
+		Prog: tso.Program{
+			NumAddrs: 1, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.Ld{Dst: r0, Addr: x}},
+				{tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		// Thread 0 sees 1 (forwarding) while thread 1 still sees 0.
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 1 && o.Regs[1][0] == 0 },
+		TSO:     true, SC: true, // observable under SC too, by running thread 1 first
+	}
+}
+
+// IRIW: independent readers of independent writers. TSO is multi-copy
+// atomic (a single shared memory), so the two readers cannot disagree on
+// the order of the writes.
+func IRIW() Test {
+	return Test{
+		Name:        "IRIW",
+		Description: "independent readers see independent writes in a single order (multi-copy atomicity)",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}},
+				{tso.St{Addr: y, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: x}, tso.MFence{}, tso.Ld{Dst: r1, Addr: y}},
+				{tso.Ld{Dst: r0, Addr: y}, tso.MFence{}, tso.Ld{Dst: r1, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool {
+			return o.Regs[2][0] == 1 && o.Regs[2][1] == 0 &&
+				o.Regs[3][0] == 1 && o.Regs[3][1] == 0
+		},
+		TSO: false, SC: false,
+	}
+}
+
+// WRC: write-to-read causality through a middleman thread; forbidden on
+// TSO.
+func WRC() Test {
+	return Test{
+		Name:        "WRC",
+		Description: "write-read causality: the chain x=1 → y=1 cannot be observed inverted",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: x}, tso.MFence{}, tso.St{Addr: y, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: y}, tso.MFence{}, tso.Ld{Dst: r1, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool {
+			return o.Regs[1][0] == 1 && o.Regs[2][0] == 1 && o.Regs[2][1] == 0
+		},
+		TSO: false, SC: false,
+	}
+}
+
+// CASExclusion: two threads race a CAS on the same location; exactly one
+// wins — the mark-race argument of Figure 5.
+func CASExclusion() Test {
+	return Test{
+		Name:        "CAS-exclusion",
+		Description: "racing locked CMPXCHGs admit exactly one winner",
+		Prog: tso.Program{
+			NumAddrs: 1, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.CAS{Dst: r0, Addr: x, Old: 0, New: 1}},
+				{tso.CAS{Dst: r0, Addr: x, Old: 0, New: 1}},
+			},
+		},
+		// Violation: both win or both lose.
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == o.Regs[1][0] },
+		TSO:     false, SC: false,
+	}
+}
+
+// FetchAddSerial: two locked fetch-and-adds serialize; the final value is
+// always 2 and the observed old values are {0, 1}.
+func FetchAddSerial() Test {
+	return Test{
+		Name:        "XADD-serial",
+		Description: "locked fetch-and-add serializes",
+		Prog: tso.Program{
+			NumAddrs: 1, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.XchgAdd{Dst: r0, Addr: x, Inc: 1}},
+				{tso.XchgAdd{Dst: r0, Addr: x, Inc: 1}},
+			},
+		},
+		// Violation: lost update.
+		Witness: func(o tso.Outcome) bool {
+			return o.Mem[0] != 2 || o.Regs[0][0]+o.Regs[1][0] != 1
+		},
+		TSO: false, SC: false,
+	}
+}
+
+// R is the "R" shape: writer thread 0 stores x then y; thread 1 stores
+// y then reads x. The outcome (final y from thread 0's store overwritten
+// — i.e. mem y = 2 — together with r0 = 0) is observable under TSO
+// because thread 1's load may run before either buffered store commits,
+// but is forbidden under SC. A second TSO/SC separator besides SB.
+func R() Test {
+	return Test{
+		Name:        "R",
+		Description: "store-store vs store-load: the early read is TSO-observable, SC-forbidden",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.St{Addr: y, Val: 1}},
+				{tso.St{Addr: y, Val: 2}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Mem[y] == 2 && o.Regs[1][0] == 0 },
+		TSO:     true, SC: false,
+	}
+}
+
+// TwoPlusTwoW is 2+2W: both threads write both locations in opposite
+// orders. The fully-exchanged final memory (x = 1 ∧ y = 1) would need a
+// cyclic commit order and is forbidden even under TSO (FIFO buffers).
+func TwoPlusTwoW() Test {
+	return Test{
+		Name:        "2+2W",
+		Description: "double write exchange: FIFO buffers forbid the cyclic final memory",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.St{Addr: y, Val: 2}},
+				{tso.St{Addr: y, Val: 1}, tso.St{Addr: x, Val: 2}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Mem[x] == 1 && o.Mem[y] == 1 },
+		TSO:     false, SC: false,
+	}
+}
+
+// SBOneFence is SB with the fence on one thread only: the relaxed
+// outcome survives through the unfenced thread's buffer. Pins that a
+// single fence is not enough — both sides of the handshake must fence
+// (§2.4's fence discipline).
+func SBOneFence() Test {
+	return Test{
+		Name:        "SB+mfence-one-side",
+		Description: "fencing only one thread leaves store buffering observable",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.MFence{}, tso.Ld{Dst: r0, Addr: y}},
+				{tso.St{Addr: y, Val: 1}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 0 && o.Regs[1][0] == 0 },
+		TSO:     true, SC: false,
+	}
+}

@@ -1,0 +1,73 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// TestCatalogue runs every litmus test exhaustively under both TSO and
+// the SC oracle and checks the verdicts against the published x86-TSO
+// expectations (experiment E8).
+func TestCatalogue(t *testing.T) {
+	for _, v := range RunAll(All()) {
+		model := "TSO"
+		if v.Model == tso.SC {
+			model = "SC"
+		}
+		t.Run(v.Test.Name+"/"+model, func(t *testing.T) {
+			if !v.OK() {
+				t.Fatalf("%s under %s: witness observed=%v want %v (%d/%d outcomes)",
+					v.Test.Name, model, v.Observed, v.Expected, v.Witnesses, v.Outcomes)
+			}
+		})
+	}
+}
+
+// TestSBSeparatesModels pins experiment E13: the store-buffering witness
+// is the observable difference between TSO and SC.
+func TestSBSeparatesModels(t *testing.T) {
+	sb := SB()
+	tsoV := Run(sb, tso.TSO)
+	scV := Run(sb, tso.SC)
+	if !tsoV.Observed {
+		t.Fatal("SB relaxed outcome must be observable under TSO")
+	}
+	if scV.Observed {
+		t.Fatal("SB relaxed outcome must be forbidden under SC")
+	}
+	// TSO admits strictly more behaviours.
+	if tsoV.Outcomes <= scV.Outcomes {
+		t.Fatalf("TSO outcomes (%d) should strictly exceed SC outcomes (%d)",
+			tsoV.Outcomes, scV.Outcomes)
+	}
+}
+
+// TestFenceRestoresSC: adding MFENCE to SB recovers exactly the SC
+// outcome set — the basis of the collector's handshake fence discipline.
+func TestFenceRestoresSC(t *testing.T) {
+	fenced := tso.Explore(SBFence().Prog, tso.TSO)
+	sc := tso.Explore(SB().Prog, tso.SC)
+	if len(fenced) != len(sc) {
+		t.Fatalf("SB+mfence under TSO has %d outcomes, SB under SC has %d",
+			len(fenced), len(sc))
+	}
+	for k := range sc {
+		if _, ok := fenced[k]; !ok {
+			t.Fatalf("SC outcome %s missing from fenced TSO run", k)
+		}
+	}
+}
+
+// TestTSOIncludesSC: every SC outcome of every test is also a TSO outcome
+// (TSO only weakens SC).
+func TestTSOIncludesSC(t *testing.T) {
+	for _, lt := range All() {
+		tsoOuts := tso.Explore(lt.Prog, tso.TSO)
+		for k := range tso.Explore(lt.Prog, tso.SC) {
+			if _, ok := tsoOuts[k]; !ok {
+				t.Fatalf("%s: SC outcome %s not reachable under TSO", lt.Name, k)
+			}
+		}
+	}
+}

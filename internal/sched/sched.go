@@ -1,0 +1,98 @@
+// Package sched provides randomized schedulers for long simulation runs
+// of the GC model: where package explore exhausts small state spaces,
+// sched drives deep random walks through larger configurations, checking
+// the invariants at every step. This trades completeness for depth and
+// scale, like stress testing on hardware.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cimp"
+	"repro/internal/gcmodel"
+	"repro/internal/invariant"
+)
+
+// Options configures a random walk.
+type Options struct {
+	// Seed makes the walk reproducible.
+	Seed int64
+	// Steps bounds the walk length.
+	Steps int
+	// CheckEvery checks invariants every k-th step (1 = every step).
+	CheckEvery int
+	// Bias weights scheduling toward mutator transitions; 0 is uniform
+	// over enabled transitions, k > 0 duplicates each mutator-initiated
+	// transition k extra times in the lottery. The collector makes
+	// progress regardless because mutators spend most transitions
+	// blocked on handshakes at cycle boundaries.
+	Bias int
+}
+
+// Result summarizes a walk.
+type Result struct {
+	Steps     int
+	Cycles    int // collector cycles completed (observed phase Idle→non-Idle edges)
+	Violation *invariant.Failure
+}
+
+// Walk performs a seeded random walk over the model's transition system.
+func Walk(m *gcmodel.Model, checks []invariant.Check, opt Options) Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if opt.Steps == 0 {
+		opt.Steps = 10_000
+	}
+	if opt.CheckEvery == 0 {
+		opt.CheckEvery = 1
+	}
+
+	st := m.Initial()
+	res := Result{}
+	lastPhase := gcmodel.PhIdle
+
+	type cand struct {
+		next cimp.System[*gcmodel.Local]
+		ev   cimp.Event
+	}
+	for i := 0; i < opt.Steps; i++ {
+		var cands []cand
+		m.Successors(st, func(n cimp.System[*gcmodel.Local], ev cimp.Event) {
+			w := 1
+			if opt.Bias > 0 && ev.Proc != gcmodel.GCPID && ev.Proc != m.SysPID() {
+				w += opt.Bias
+			}
+			for k := 0; k < w; k++ {
+				cands = append(cands, cand{n, ev})
+			}
+		})
+		if len(cands) == 0 {
+			res.Violation = &invariant.Failure{
+				Name: "deadlock",
+				Err:  fmt.Errorf("no enabled transition at step %d", i),
+			}
+			return res
+		}
+		c := cands[rng.Intn(len(cands))]
+		st = c.next
+		res.Steps++
+
+		g := gcmodel.Global{Model: m, State: st}
+		ph := g.Sys().Phase
+		if lastPhase != gcmodel.PhIdle && ph == gcmodel.PhIdle {
+			res.Cycles++
+		}
+		lastPhase = ph
+
+		if res.Steps%opt.CheckEvery == 0 {
+			v := invariant.NewView(g)
+			for _, chk := range checks {
+				if err := chk.Pred(v); err != nil {
+					res.Violation = &invariant.Failure{Name: chk.Name, Err: err, Step: res.Steps}
+					return res
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cimp"
+	"repro/internal/gcmodel"
+	"repro/internal/heap"
+)
+
+func model(t *testing.T) *gcmodel.Model {
+	t.Helper()
+	m, err := gcmodel.Build(gcmodel.Config{
+		NMutators: 2,
+		NRefs:     2,
+		NFields:   1,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {heap.NilRef},
+		},
+		InitRoots: []heap.RefSet{heap.SetOf(0), heap.SetOf(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestProcName(t *testing.T) {
+	m := model(t)
+	cases := map[cimp.PID]string{
+		0: "gc",
+		1: "mut0",
+		2: "mut1",
+		3: "sys",
+	}
+	for pid, want := range cases {
+		if got := ProcName(m, pid); got != want {
+			t.Fatalf("ProcName(%d) = %q, want %q", pid, got, want)
+		}
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	m := model(t)
+	tau := cimp.Event{Proc: 0, Peer: -1, Label: "gc_flip_fM"}
+	if got := Event(m, tau); got != "gc: gc_flip_fM" {
+		t.Fatalf("tau event = %q", got)
+	}
+	rv := cimp.Event{
+		Proc: 1, Peer: 3, Label: "mut0_load", PeerLabel: "sys-read",
+		Alpha: gcmodel.Req{P: 1, Kind: gcmodel.RRead, Loc: gcmodel.Loc{Kind: gcmodel.LFM}},
+	}
+	got := Event(m, rv)
+	for _, want := range []string{"mut0", "sys", "mut0_load", "read fM"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rendezvous event %q missing %q", got, want)
+		}
+	}
+}
+
+func TestStateRendering(t *testing.T) {
+	m := model(t)
+	got := State(m, m.Initial())
+	for _, want := range []string{"phase=Idle", "fM=false", "heap={0:[1] 1:[-]}",
+		"m0{roots={0}", "m1{roots={1}", "gcW={}"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("state rendering %q missing %q", got, want)
+		}
+	}
+	// Buffers and lock appear only when non-trivial.
+	if strings.Contains(got, "buf[") || strings.Contains(got, "lock=") {
+		t.Fatalf("initial state shows empty buffers/lock: %q", got)
+	}
+}
+
+func TestStateShowsBuffersAndLock(t *testing.T) {
+	m := model(t)
+	st := m.Initial().CloneShallow()
+	sysIdx := len(st.Procs) - 1
+	st.Procs[sysIdx] = cimp.Config[*gcmodel.Local]{
+		Stack: st.Procs[sysIdx].Stack,
+		Data:  st.Procs[sysIdx].Data.Clone(),
+	}
+	sys := st.Procs[sysIdx].Data.Sys
+	sys.Bufs[0] = []gcmodel.WAct{{Loc: gcmodel.Loc{Kind: gcmodel.LFM}, Val: 1}}
+	sys.Lock = 1
+	got := State(m, st)
+	if !strings.Contains(got, "buf[gc]=[fM←1]") {
+		t.Fatalf("buffer not rendered: %q", got)
+	}
+	if !strings.Contains(got, "lock=mut0") {
+		t.Fatalf("lock not rendered: %q", got)
+	}
+}

@@ -1,0 +1,219 @@
+// Package tso implements the x86-TSO abstract memory machine of Sewell,
+// Sarkar, Owens, Zappa Nardelli and Myreen (CACM 2010), which the paper
+// adopts as its memory model (§2.4 and Figure 9).
+//
+// The machine postulates a FIFO store buffer private to each hardware
+// thread. Stores are buffered and committed to shared memory
+// asynchronously; loads first consult the issuing thread's own buffer
+// (newest matching entry wins) and fall through to shared memory. A global
+// TSO lock serializes locked instructions (x86 locked CMPXCHG): while a
+// thread holds the lock, no other thread may read from memory or commit
+// buffered stores. MFENCE blocks until the issuing thread's buffer has
+// drained; releasing the lock likewise requires an empty buffer, so locked
+// instructions publish their updates before completing.
+//
+// The machine here is a value type with explicit enabledness predicates so
+// that explicit-state explorers (package litmus, package explore) can
+// enumerate its non-determinism — the single internal transition is the
+// commit of the oldest buffered store of any unblocked thread.
+package tso
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// ThreadID identifies a hardware thread.
+type ThreadID int
+
+// NoThread is the absence of a thread (e.g. no lock owner).
+const NoThread ThreadID = -1
+
+// Addr is a memory location.
+type Addr int
+
+// Word is a memory value.
+type Word int64
+
+// Write is a pending store in a store buffer.
+type Write struct {
+	Addr Addr
+	Val  Word
+}
+
+// Machine is an x86-TSO memory system state for a fixed number of threads
+// and addresses.
+type Machine struct {
+	// Mem is the shared memory, indexed by Addr.
+	Mem []Word
+	// Bufs holds each thread's FIFO store buffer, oldest first.
+	Bufs [][]Write
+	// LockOwner is the thread holding the TSO lock, or NoThread.
+	LockOwner ThreadID
+}
+
+// New creates a machine with nthreads empty store buffers and naddrs
+// zeroed memory locations.
+func New(nthreads, naddrs int) *Machine {
+	m := &Machine{
+		Mem:       make([]Word, naddrs),
+		Bufs:      make([][]Write, nthreads),
+		LockOwner: NoThread,
+	}
+	return m
+}
+
+// Clone deep-copies the machine.
+func (m *Machine) Clone() *Machine {
+	n := &Machine{
+		Mem:       append([]Word(nil), m.Mem...),
+		Bufs:      make([][]Write, len(m.Bufs)),
+		LockOwner: m.LockOwner,
+	}
+	for i, b := range m.Bufs {
+		if len(b) > 0 {
+			n.Bufs[i] = append([]Write(nil), b...)
+		}
+	}
+	return n
+}
+
+// Blocked reports whether thread t is prevented from reading memory or
+// committing buffered stores because another thread holds the TSO lock.
+func (m *Machine) Blocked(t ThreadID) bool {
+	return m.LockOwner != NoThread && m.LockOwner != t
+}
+
+// Read returns the value thread t observes at addr: the newest entry for
+// addr in t's own store buffer if any, else shared memory. Read is only
+// permitted when t is not Blocked.
+func (m *Machine) Read(t ThreadID, addr Addr) Word {
+	if m.Blocked(t) {
+		panic(fmt.Sprintf("tso: thread %d read at %d while blocked", t, addr))
+	}
+	buf := m.Bufs[t]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].Addr == addr {
+			return buf[i].Val
+		}
+	}
+	return m.Mem[addr]
+}
+
+// Buffer appends a store to t's store buffer. Buffering is always enabled:
+// the TSO lock does not prevent other threads from issuing stores, only
+// from committing them.
+func (m *Machine) Buffer(t ThreadID, addr Addr, v Word) {
+	m.Bufs[t] = append(m.Bufs[t], Write{Addr: addr, Val: v})
+}
+
+// CanCommit reports whether thread t has a committable store: a non-empty
+// buffer and t not Blocked.
+func (m *Machine) CanCommit(t ThreadID) bool {
+	return len(m.Bufs[t]) > 0 && !m.Blocked(t)
+}
+
+// Commit writes t's oldest buffered store to shared memory.
+func (m *Machine) Commit(t ThreadID) {
+	if !m.CanCommit(t) {
+		panic(fmt.Sprintf("tso: thread %d cannot commit", t))
+	}
+	w := m.Bufs[t][0]
+	rest := m.Bufs[t][1:]
+	if len(rest) == 0 {
+		m.Bufs[t] = nil
+	} else {
+		m.Bufs[t] = append([]Write(nil), rest...)
+	}
+	m.Mem[w.Addr] = w.Val
+}
+
+// FenceReady reports whether an MFENCE issued by t may complete: its store
+// buffer must be empty. A pending fence is modeled by the thread being
+// unable to proceed until FenceReady holds.
+func (m *Machine) FenceReady(t ThreadID) bool { return len(m.Bufs[t]) == 0 }
+
+// CanLock reports whether t may acquire the TSO lock.
+func (m *Machine) CanLock(t ThreadID) bool { return m.LockOwner == NoThread }
+
+// Lock acquires the TSO lock for t.
+func (m *Machine) Lock(t ThreadID) {
+	if !m.CanLock(t) {
+		panic(fmt.Sprintf("tso: thread %d lock while owned by %d", t, m.LockOwner))
+	}
+	m.LockOwner = t
+}
+
+// CanUnlock reports whether t may release the TSO lock: t must own it and
+// t's store buffer must be empty, so a locked instruction's stores are
+// globally visible before it completes.
+func (m *Machine) CanUnlock(t ThreadID) bool {
+	return m.LockOwner == t && len(m.Bufs[t]) == 0
+}
+
+// Unlock releases the TSO lock.
+func (m *Machine) Unlock(t ThreadID) {
+	if !m.CanUnlock(t) {
+		panic(fmt.Sprintf("tso: thread %d cannot unlock (owner %d, buf %d)",
+			t, m.LockOwner, len(m.Bufs[t])))
+	}
+	m.LockOwner = NoThread
+}
+
+// DrainAll commits every buffered store of t; only legal when t is not
+// Blocked. It is a convenience for atomic (coarse-grained) operations.
+func (m *Machine) DrainAll(t ThreadID) {
+	for len(m.Bufs[t]) > 0 {
+		m.Commit(t)
+	}
+}
+
+// CAS performs an atomic locked compare-and-swap as a single coarse step:
+// it requires the lock to be free, drains t's buffer, compares memory at
+// addr with old, and if equal stores new directly. It returns whether the
+// swap happened. This is the macro form used by the litmus harness; the GC
+// model in package gcmodel instead spells out the fine-grained
+// lock/read/write/drain/unlock sequence of paper Figure 5.
+func (m *Machine) CAS(t ThreadID, addr Addr, old, new Word) bool {
+	if !m.CanLock(t) {
+		panic("tso: CAS while lock held")
+	}
+	m.DrainAll(t)
+	if m.Mem[addr] != old {
+		return false
+	}
+	m.Mem[addr] = new
+	return true
+}
+
+// AppendFingerprint appends a canonical encoding of the machine state.
+func (m *Machine) AppendFingerprint(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(m.LockOwner))
+	for _, w := range m.Mem {
+		dst = binary.AppendVarint(dst, int64(w))
+	}
+	for _, buf := range m.Bufs {
+		dst = binary.AppendUvarint(dst, uint64(len(buf)))
+		for _, w := range buf {
+			dst = binary.AppendVarint(dst, int64(w.Addr))
+			dst = binary.AppendVarint(dst, int64(w.Val))
+		}
+	}
+	return dst
+}
+
+// String renders the machine state for traces.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mem=%v", m.Mem)
+	for t, buf := range m.Bufs {
+		if len(buf) > 0 {
+			fmt.Fprintf(&b, " buf[%d]=%v", t, buf)
+		}
+	}
+	if m.LockOwner != NoThread {
+		fmt.Fprintf(&b, " lock=%d", m.LockOwner)
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package tso
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadForwardsFromOwnBuffer(t *testing.T) {
+	m := New(2, 2)
+	m.Buffer(0, 0, 7)
+	if got := m.Read(0, 0); got != 7 {
+		t.Fatalf("own read = %d, want 7 (buffer forwarding)", got)
+	}
+	if got := m.Read(1, 0); got != 0 {
+		t.Fatalf("other read = %d, want 0 (store not committed)", got)
+	}
+}
+
+func TestReadSeesNewestBufferedWrite(t *testing.T) {
+	m := New(1, 1)
+	m.Buffer(0, 0, 1)
+	m.Buffer(0, 0, 2)
+	m.Buffer(0, 0, 3)
+	if got := m.Read(0, 0); got != 3 {
+		t.Fatalf("read = %d, want newest buffered value 3", got)
+	}
+}
+
+func TestCommitIsFIFO(t *testing.T) {
+	m := New(1, 2)
+	m.Buffer(0, 0, 1)
+	m.Buffer(0, 1, 2)
+	m.Commit(0)
+	if m.Mem[0] != 1 || m.Mem[1] != 0 {
+		t.Fatalf("after first commit mem = %v", m.Mem)
+	}
+	m.Commit(0)
+	if m.Mem[1] != 2 {
+		t.Fatalf("after second commit mem = %v", m.Mem)
+	}
+	if m.CanCommit(0) {
+		t.Fatal("empty buffer reports committable")
+	}
+}
+
+func TestLockBlocksOtherThreads(t *testing.T) {
+	m := New(2, 1)
+	m.Buffer(1, 0, 9)
+	m.Lock(0)
+	if !m.Blocked(1) {
+		t.Fatal("thread 1 should be blocked while 0 holds the lock")
+	}
+	if m.Blocked(0) {
+		t.Fatal("lock owner should not be blocked")
+	}
+	if m.CanCommit(1) {
+		t.Fatal("blocked thread must not commit")
+	}
+	if m.CanLock(1) {
+		t.Fatal("lock must be exclusive")
+	}
+	// Owner with empty buffer can unlock.
+	if !m.CanUnlock(0) {
+		t.Fatal("owner with empty buffer should be able to unlock")
+	}
+	m.Unlock(0)
+	if !m.CanCommit(1) {
+		t.Fatal("after unlock thread 1 can commit again")
+	}
+}
+
+func TestUnlockRequiresEmptyBuffer(t *testing.T) {
+	m := New(1, 1)
+	m.Lock(0)
+	m.Buffer(0, 0, 5)
+	if m.CanUnlock(0) {
+		t.Fatal("unlock with pending stores must be refused (locked ops publish before completing)")
+	}
+	m.Commit(0) // owner can drain
+	if !m.CanUnlock(0) {
+		t.Fatal("unlock should be possible once drained")
+	}
+}
+
+func TestFenceReadyOnlyWhenDrained(t *testing.T) {
+	m := New(1, 1)
+	if !m.FenceReady(0) {
+		t.Fatal("fence with empty buffer must complete")
+	}
+	m.Buffer(0, 0, 1)
+	if m.FenceReady(0) {
+		t.Fatal("fence with pending stores must wait")
+	}
+}
+
+func TestCASFlushesAndSwaps(t *testing.T) {
+	m := New(1, 2)
+	m.Buffer(0, 1, 42) // unrelated pending store
+	if !m.CAS(0, 0, 0, 1) {
+		t.Fatal("CAS should succeed")
+	}
+	if m.Mem[0] != 1 {
+		t.Fatalf("mem[0] = %d after CAS", m.Mem[0])
+	}
+	if m.Mem[1] != 42 {
+		t.Fatal("CAS must flush the store buffer first")
+	}
+	if m.CAS(0, 0, 0, 2) {
+		t.Fatal("CAS with stale expected value should fail")
+	}
+	if m.Mem[0] != 1 {
+		t.Fatal("failed CAS must not write")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(2, 2)
+	m.Buffer(0, 0, 1)
+	m.Lock(1)
+	n := m.Clone()
+	n.Mem[1] = 99
+	n.Bufs[0][0].Val = 50
+	n.LockOwner = NoThread
+	if m.Mem[1] != 0 || m.Bufs[0][0].Val != 1 || m.LockOwner != 1 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestFingerprintDistinguishesBufferOrder(t *testing.T) {
+	a := New(1, 2)
+	a.Buffer(0, 0, 1)
+	a.Buffer(0, 1, 2)
+	b := New(1, 2)
+	b.Buffer(0, 1, 2)
+	b.Buffer(0, 0, 1)
+	if string(a.AppendFingerprint(nil)) == string(b.AppendFingerprint(nil)) {
+		t.Fatal("fingerprint must distinguish FIFO order")
+	}
+}
+
+// Property: a thread always reads its own most recent store, regardless
+// of commit activity (TSO's per-thread program-order guarantee).
+func TestOwnStoreVisibleQuick(t *testing.T) {
+	f := func(vals []uint8, commits uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		m := New(1, 1)
+		for _, v := range vals {
+			m.Buffer(0, 0, Word(v))
+		}
+		for i := 0; i < int(commits)%len(vals); i++ {
+			m.Commit(0)
+		}
+		return m.Read(0, 0) == Word(vals[len(vals)-1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after draining everything, memory equals the last write per
+// address in program order.
+func TestDrainAllConvergesQuick(t *testing.T) {
+	f := func(writes []struct {
+		A uint8
+		V uint8
+	}) bool {
+		const n = 4
+		m := New(1, n)
+		want := make([]Word, n)
+		for _, w := range writes {
+			a := Addr(w.A % n)
+			m.Buffer(0, a, Word(w.V))
+			want[a] = Word(w.V)
+		}
+		m.DrainAll(0)
+		for i := range want {
+			if m.Mem[i] != want[i] {
+				return false
+			}
+		}
+		return len(m.Bufs[0]) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExploreTerminatesOnStraightLineCode(t *testing.T) {
+	p := Program{
+		NumAddrs: 1, NumRegs: 1,
+		Threads: [][]Instr{
+			{St{Addr: 0, Val: 1}, Ld{Dst: 0, Addr: 0}},
+		},
+	}
+	outs := Explore(p, TSO)
+	if len(outs) != 1 {
+		t.Fatalf("single-thread program must have one outcome, got %v", OutcomeKeys(outs))
+	}
+	for _, o := range outs {
+		if o.Regs[0][0] != 1 {
+			t.Fatalf("own store not observed: %v", o.Key())
+		}
+	}
+}
+
+func TestExploreSCNoBuffering(t *testing.T) {
+	// Under SC a store is immediately visible to everyone.
+	p := Program{
+		NumAddrs: 1, NumRegs: 1,
+		Threads: [][]Instr{
+			{St{Addr: 0, Val: 1}},
+			{Ld{Dst: 0, Addr: 0}},
+		},
+	}
+	outs := Explore(p, SC)
+	// Outcomes: load before store (0) or after (1); never a buffered
+	// intermediate.
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %v", OutcomeKeys(outs))
+	}
+}
+
+func TestInitMemRespected(t *testing.T) {
+	p := Program{
+		NumAddrs: 1, NumRegs: 1,
+		InitMem: map[Addr]Word{0: 7},
+		Threads: [][]Instr{{Ld{Dst: 0, Addr: 0}}},
+	}
+	for _, model := range []Model{TSO, SC} {
+		for _, o := range Explore(p, model) {
+			if o.Regs[0][0] != 7 {
+				t.Fatalf("init mem ignored: %v", o.Key())
+			}
+		}
+	}
+}
