@@ -214,7 +214,7 @@ func BenchmarkE9MarkLoopModel(b *testing.B) {
 	b.ResetTimer()
 	states := 0
 	for i := 0; i < b.N; i++ {
-		res := explore.Run(m, nil, explore.Options{MaxStates: 20_000})
+		res := explore.Run(m, nil, explore.Options{MaxStates: 20_000, HashOnly: true})
 		states += res.States
 	}
 	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
@@ -231,13 +231,70 @@ func BenchmarkE10HeadlineModelCheck(b *testing.B) {
 	b.ResetTimer()
 	states := 0
 	for i := 0; i < b.N; i++ {
-		res := explore.Run(m, invariant.All(), explore.Options{MaxStates: 20_000})
+		res := explore.Run(m, invariant.All(), explore.Options{MaxStates: 20_000, HashOnly: true})
 		if res.Violation != nil {
 			b.Fatal(res.Violation)
 		}
 		states += res.States
 	}
 	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+}
+
+// --- E17: the parallel sharded checker (this repo's perf tentpole) ------
+//
+// BenchmarkExploreWorkers scales the layer-synchronous BFS across worker
+// counts on the standard (tiny) configuration; BenchmarkExploreFingerprints
+// compares retained-string fingerprints against 64-bit hash compaction at
+// a fixed worker count, reporting visited-set payload bytes per state.
+// EXPERIMENTS.md records representative numbers and the reproduction
+// commands.
+
+func BenchmarkExploreWorkers(b *testing.B) {
+	m, err := gcmodel.Build(core.TinyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(itoa(w)+"w", func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(m, invariant.All(),
+					explore.Options{MaxStates: 50_000, Workers: w, HashOnly: true})
+				if res.Violation != nil {
+					b.Fatal(res.Violation)
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+}
+
+func BenchmarkExploreFingerprints(b *testing.B) {
+	m, err := gcmodel.Build(core.TinyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		hashOnly bool
+	}{{"string", false}, {"hashed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			states := 0
+			var bytesPerState float64
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(m, invariant.All(),
+					explore.Options{MaxStates: 50_000, Workers: 1, HashOnly: mode.hashOnly})
+				if res.Violation != nil {
+					b.Fatal(res.Violation)
+				}
+				states += res.States
+				bytesPerState = float64(res.VisitedBytes) / float64(res.States)
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+			b.ReportMetric(bytesPerState, "visited-B/state")
+		})
+	}
 }
 
 // --- E11: time-to-counterexample for the barrier ablations -------------
@@ -251,7 +308,7 @@ func BenchmarkE11AblationCounterexample(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := explore.Run(m, invariant.Safety(), explore.Options{MaxStates: 500_000})
+		res := explore.Run(m, invariant.Safety(), explore.Options{MaxStates: 500_000, HashOnly: true})
 		if res.Violation == nil {
 			b.Fatal("counterexample not found")
 		}
@@ -269,7 +326,7 @@ func BenchmarkE12ElideHandshake(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = explore.Run(m, invariant.All(), explore.Options{MaxStates: 20_000})
+		_ = explore.Run(m, invariant.All(), explore.Options{MaxStates: 20_000, HashOnly: true})
 	}
 }
 

@@ -45,6 +45,10 @@ func main() {
 		maxStates = flag.Int("max-states", 0, "cap on distinct states (0 = none)")
 		headline  = flag.Bool("headline-only", false, "check only valid_refs_inv")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+
+		workers = flag.Int("workers", 0, "checker worker goroutines per BFS layer (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "visited-set lock stripes (0 = checker default)")
+		audit   = flag.Bool("audit", false, "retain full fingerprints and audit 64-bit hash collisions (costs memory)")
 	)
 	flag.Parse()
 
@@ -86,6 +90,9 @@ func main() {
 		MaxStates:    *maxStates,
 		Trace:        true,
 		HeadlineOnly: *headline,
+		Workers:      *workers,
+		Shards:       *shards,
+		Audit:        *audit,
 	}
 	if !*quiet {
 		opt.Progress = func(states, depth int) {
@@ -104,6 +111,18 @@ func main() {
 
 	fmt.Printf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%v\n",
 		res.States, res.Transitions, res.Depth, res.Complete, res.Deadlocks, res.Elapsed)
+	if res.States > 0 {
+		fmt.Printf("visited-set: %d bytes (%.1f B/state)\n",
+			res.VisitedBytes, float64(res.VisitedBytes)/float64(res.States))
+	}
+	if *audit {
+		if res.HashCollisions > 0 {
+			fmt.Fprintf(os.Stderr, "gcmc: WARNING: %d fingerprint hash collisions — hashed verdict unsound at this size\n",
+				res.HashCollisions)
+		} else {
+			fmt.Println("audit: 0 fingerprint hash collisions")
+		}
+	}
 	if res.Holds() {
 		if res.Complete {
 			fmt.Println("VERIFIED: all invariants hold on the full reachable state space")

@@ -27,7 +27,9 @@ func main() {
 	cfg := core.TinyConfig()
 	cfg.NoDeletionBarrier = true
 
-	res, err := core.Verify(cfg, core.VerifyOptions{Trace: true, HeadlineOnly: true})
+	// Workers 0 = one checker goroutine per CPU; the layer-synchronous
+	// search finds the same minimal-depth counterexample at any width.
+	res, err := core.Verify(cfg, core.VerifyOptions{Trace: true, HeadlineOnly: true, Workers: 0})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

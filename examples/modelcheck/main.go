@@ -15,21 +15,25 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 )
 
 func main() {
-	cfg := core.TinyConfig() // h → x, one mutator: ~1M states, ≈1 minute
+	cfg := core.TinyConfig() // h → x, one mutator: ~1M states
+	workers := runtime.GOMAXPROCS(0)
 	fmt.Println("configuration: 1 mutator, heap h→x (only h rooted),")
 	fmt.Println("TSO buffers bounded at 2, two heap operations per cycle")
 	fmt.Println("checking: valid_refs_inv, strong/weak tricolor, valid_W_inv,")
 	fmt.Println("          mutator_phase_inv, sys_phase_inv, gc_W_empty_mut_inv,")
 	fmt.Println("          sweep_inv, tso_control_inv")
+	fmt.Printf("checker: %d workers, sharded visited set, 64-bit hashed fingerprints\n", workers)
 	fmt.Println()
 
 	res, err := core.Verify(cfg, core.VerifyOptions{
-		Trace: true,
+		Trace:   true,
+		Workers: workers,
 		Progress: func(states, depth int) {
 			fmt.Fprintf(os.Stderr, "\r%9d states, depth %4d", states, depth)
 		},
@@ -42,6 +46,8 @@ func main() {
 
 	fmt.Printf("explored %d states (%d transitions) to depth %d in %v\n",
 		res.States, res.Transitions, res.Depth, res.Elapsed)
+	fmt.Printf("visited set: %.1f bytes/state (hash-compacted)\n",
+		float64(res.VisitedBytes)/float64(res.States))
 	if !res.Holds() {
 		fmt.Println("VIOLATION — this should never happen for the verified collector:")
 		fmt.Print(res.RenderViolation())

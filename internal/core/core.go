@@ -43,6 +43,17 @@ type VerifyOptions struct {
 	HeadlineOnly bool
 	// Progress, if non-nil, receives periodic (states, depth) updates.
 	Progress func(states, depth int)
+	// Workers is the number of checker worker goroutines per BFS layer
+	// (0 = GOMAXPROCS). Verdicts do not depend on the worker count.
+	Workers int
+	// Shards is the number of lock-striped visited-set shards (0 =
+	// checker default).
+	Shards int
+	// Audit retains the full canonical fingerprint of every visited
+	// state alongside its 64-bit hash and counts hash collisions
+	// (VerifyResult.HashCollisions). It costs string-fingerprint memory
+	// and exists to validate the default compact-hash mode.
+	Audit bool
 }
 
 // VerifyResult reports a verification run.
@@ -80,6 +91,9 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 		MaxDepth:  opt.MaxDepth,
 		Trace:     opt.Trace,
 		Progress:  opt.Progress,
+		Workers:   opt.Workers,
+		Shards:    opt.Shards,
+		HashOnly:  !opt.Audit,
 	})
 	return VerifyResult{Result: res, Model: m}, nil
 }

@@ -28,6 +28,19 @@ func baseCfg() gcmodel.Config {
 	}
 }
 
+// skipDeepHuntUnderRace skips multi-million-state explorations when the
+// race detector is on: they would take tens of minutes at the detector's
+// slowdown, and the parallel checker's concurrency is already fully
+// exercised under -race by the quicker multi-worker tests
+// (TestDeterministicAcrossWorkers, TestShortestCounterexampleAcrossWorkers,
+// TestCollisionAudit, TestSafeModelShortExhaust, ...).
+func skipDeepHuntUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("deep state-space hunt skipped under -race")
+	}
+}
+
 func mustBuild(t *testing.T, cfg gcmodel.Config) *gcmodel.Model {
 	t.Helper()
 	m, err := gcmodel.Build(cfg)
@@ -42,7 +55,7 @@ func mustBuild(t *testing.T, cfg gcmodel.Config) *gcmodel.Model {
 func findViolation(t *testing.T, cfg gcmodel.Config, checks []invariant.Check, cap int) *Violation {
 	t.Helper()
 	m := mustBuild(t, cfg)
-	res := Run(m, checks, Options{Trace: true, MaxStates: cap})
+	res := Run(m, checks, Options{Trace: true, MaxStates: cap, HashOnly: true, Workers: 2})
 	if res.Violation == nil {
 		t.Fatalf("no violation found in %d states (complete=%v) — ablation should be unsafe",
 			res.States, res.Complete)
@@ -56,6 +69,7 @@ func findViolation(t *testing.T, cfg gcmodel.Config, checks []invariant.Check, c
 // breaks the headline safety property — the checker produces a concrete
 // interleaving in which a reachable object is freed.
 func TestAblationNoDeletionBarrier(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	cfg := baseCfg()
 	cfg.NoDeletionBarrier = true
 	v := findViolation(t, cfg, invariant.Safety(), 2_000_000)
@@ -88,6 +102,7 @@ func TestAblationNoDeletionBarrierAuxiliaryFailsFirst(t *testing.T) {
 // the random-walk test (sched.TestWalkFindsAblationViolation) and
 // deterministically at runtime scale (gcrt.TestLostObjectWithAllocWhite).
 func TestAblationAllocWhite(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	cfg := baseCfg()
 	cfg.AllocWhite = true
 	cfg.DisableAlloc = false
@@ -101,6 +116,7 @@ func TestAblationAllocWhite(t *testing.T) {
 // roots while a mutator still allocates white or runs without barriers —
 // the auxiliary invariants catch the resulting windows.
 func TestAblationElideMarkHandshake(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	cfg := baseCfg()
 	cfg.ElideHS4 = true
 	cfg.DisableAlloc = false
@@ -123,6 +139,7 @@ func TestAblationElideMarkHandshake(t *testing.T) {
 // event names a process, and the final state exhibits the dangling
 // reference the violation reports.
 func TestCounterexampleTraceIsWellFormed(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	cfg := baseCfg()
 	cfg.NoDeletionBarrier = true
 	m := mustBuild(t, cfg)
@@ -155,7 +172,7 @@ func TestSafeModelShortExhaust(t *testing.T) {
 	cfg.DisableDiscard = true
 	cfg.MaxBuf = 1
 	m := mustBuild(t, cfg)
-	res := Run(m, invariant.All(), Options{MaxStates: 1_500_000})
+	res := Run(m, invariant.All(), Options{MaxStates: 1_500_000, HashOnly: true, Workers: 4, Shards: 16})
 	if res.Violation != nil {
 		t.Fatalf("violation in safe model:\n%s", res.Violation.Render(m))
 	}
@@ -172,6 +189,7 @@ func TestSafeModelShortExhaust(t *testing.T) {
 // reduction must not change verdicts — the unfused semantics finds the
 // same deletion-barrier violation.
 func TestFusionAgreesWithUnfusedOnViolation(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	cfg := baseCfg()
 	cfg.NoDeletionBarrier = true
 	cfg.DisableMFence = true
@@ -197,6 +215,7 @@ func TestFusionAgreesWithUnfusedOnViolation(t *testing.T) {
 // insertion barrier can be dropped across the mark loop in exchange for
 // a thread-local branch — holds exhaustively on the tiny configuration.
 func TestObservationInsertionGate(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	if testing.Short() {
 		t.Skip("exhaustive run")
 	}
@@ -217,6 +236,7 @@ func TestObservationInsertionGate(t *testing.T) {
 // oracle the same configuration is safe and has strictly fewer reachable
 // states — the store buffers are what the TSO proof pays for.
 func TestSCOracleShrinksStateSpace(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	if testing.Short() {
 		t.Skip("exhaustive run")
 	}

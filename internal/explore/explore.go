@@ -1,20 +1,43 @@
 // Package explore is an explicit-state model checker for the GC model: a
-// breadth-first search over the CIMP system semantics with state
-// fingerprinting, invariant checking at every reachable state, and
-// counterexample trace reconstruction. It plays the role of the paper's
-// Isabelle/HOL induction over the reachable states of the _⇒_ relation,
-// restricted to bounded configurations.
+// parallel breadth-first search over the CIMP system semantics with
+// compact hashed state fingerprints, invariant checking at every
+// reachable state, and counterexample trace reconstruction. It plays the
+// role of the paper's Isabelle/HOL induction over the reachable states
+// of the _⇒_ relation, restricted to bounded configurations.
 //
-// Memory: visited states are retained only as fingerprints (plus a parent
-// fingerprint for trace reconstruction when Options.Trace is set); full
-// states live only on the BFS frontier. Counterexample traces are
-// materialized afterwards by replaying the fingerprint path from the
-// initial state.
+// # Architecture
+//
+// The search is layer-synchronous: all states at BFS depth d are
+// expanded by Options.Workers goroutines before any state at depth d+1
+// is expanded. The layer barrier preserves the sequential checker's
+// shortest-counterexample guarantee and its MaxDepth accounting, and
+// makes the verdict — state count, transition count, depth, deadlocks,
+// violation or not — identical for every worker count. Workers claim
+// chunks of the current layer from a shared cursor, so load balance is
+// dynamic within a layer.
+//
+// The visited set is sharded into Options.Shards lock-striped shards
+// keyed by the top bits of the state's 64-bit FNV-1a fingerprint hash.
+// By default only the hash is retained (Options.HashOnly), at ~24
+// payload bytes per state regardless of configuration size; the full
+// canonical fingerprint encoding is kept only in the opt-in audit mode,
+// which counts hash collisions (Result.HashCollisions) to back the
+// compaction's soundness argument — see DESIGN.md.
+//
+// Memory: full states live only on the two live BFS layers (current and
+// next); visited states are retained as hashes plus, when Options.Trace
+// is set, a compact (parent hash, event index) pair per state.
+// Counterexample traces are materialized afterwards by replaying the
+// recorded event indices from the initial state.
 package explore
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cimp"
@@ -26,14 +49,39 @@ import (
 // Options bounds and instruments a run.
 type Options struct {
 	// MaxStates caps the number of distinct states visited (0 = no cap).
+	// The cap is checked concurrently by all workers, so a capped run
+	// may overshoot by a few states and its exact count can vary across
+	// worker counts; uncapped runs are exactly deterministic.
 	MaxStates int
-	// MaxDepth caps the BFS depth (0 = no cap).
+	// MaxDepth caps the BFS depth (0 = no cap): states at MaxDepth are
+	// still visited and checked, but not expanded.
 	MaxDepth int
-	// Trace records parent fingerprints so a counterexample path can be
-	// reconstructed.
+	// Trace records a compact (parent hash, event index) pair per state
+	// so a counterexample path can be reconstructed by replay.
 	Trace bool
-	// Progress, if non-nil, receives (states, depth) periodically.
+	// Progress, if non-nil, receives (states, depth) roughly every
+	// ProgressEvery newly visited states. Reports are driven by a
+	// monotonic global state counter, so they can neither skip nor
+	// double-report an interval regardless of worker count.
 	Progress func(states, depth int)
+	// ProgressEvery is the number of newly visited states between
+	// Progress calls (0 = 8192).
+	ProgressEvery int
+	// Workers is the number of goroutines expanding each BFS layer
+	// (0 = GOMAXPROCS). Verdicts do not depend on the worker count.
+	Workers int
+	// Shards is the number of lock-striped visited-set shards, rounded
+	// up to a power of two (0 = 64).
+	Shards int
+	// HashOnly stores only the 64-bit fingerprint hash per visited state
+	// (compact mode — the production default, wired by package core and
+	// cmd/gcmc). When false, the checker additionally retains every
+	// state's full canonical fingerprint and counts hash collisions in
+	// Result.HashCollisions; this audit mode costs string-fingerprint
+	// memory and exists to validate the compaction (the verdict itself
+	// is computed from hashes in both modes, so the two modes agree
+	// exactly whenever HashCollisions is 0).
+	HashOnly bool
 }
 
 // Step is one transition of a counterexample trace.
@@ -87,27 +135,145 @@ type Result struct {
 	Complete bool
 	// Deadlocks counts states with no outgoing transition.
 	Deadlocks int
-	// Violation is the first invariant failure found, or nil.
+	// Violation is the minimal-depth invariant failure found, or nil.
 	Violation *Violation
+	// HashCollisions counts pairs of distinct canonical fingerprints
+	// observed to share a 64-bit hash. Only audit mode (HashOnly off)
+	// can detect collisions; the count is always 0 in compact mode.
+	HashCollisions int
+	// VisitedBytes is the payload memory retained by the visited set
+	// (keys, records, and audit-mode fingerprint strings; Go map bucket
+	// overhead excluded).
+	VisitedBytes int64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
 
-// rec is the per-visited-state bookkeeping: the parent fingerprint (""
-// for the initial state or when tracing is off) and the BFS depth.
+// rec is the per-visited-state bookkeeping: the fingerprint hash of the
+// parent state and the index of the producing event in the parent's
+// (deterministic) successor enumeration. Both are meaningful only when
+// Options.Trace is set; eidx is -1 for the initial state.
 type rec struct {
-	parent string
-	depth  int32
+	parent uint64
+	eidx   int32
 }
 
+// recBytes is the visited-set payload per state in compact mode: the
+// 8-byte map key plus the 16-byte rec value (Go map bucket overhead not
+// counted).
+const recBytes = 8 + 16
+
+// shard is one lock stripe of the visited set.
+type shard struct {
+	mu   sync.Mutex
+	recs map[uint64]rec
+	// fps retains the canonical fingerprint per hash in audit mode.
+	fps        map[uint64]string
+	collisions int64
+	bytes      int64
+}
+
+// visited is the sharded visited set, keyed by fingerprint hash; the
+// shard index is the hash's top bits, so any hash prefix ordering is
+// spread evenly across stripes.
+type visited struct {
+	shards []shard
+	shift  uint
+	audit  bool
+}
+
+func newVisited(n int, audit bool) *visited {
+	if n <= 0 {
+		n = 64
+	}
+	n = 1 << bits.Len(uint(n-1)) // round up to a power of two
+	v := &visited{
+		shards: make([]shard, n),
+		shift:  uint(64 - bits.Len(uint(n-1))),
+		audit:  audit,
+	}
+	for i := range v.shards {
+		v.shards[i].recs = make(map[uint64]rec)
+		if audit {
+			v.shards[i].fps = make(map[uint64]string)
+		}
+	}
+	return v
+}
+
+func (v *visited) shard(h uint64) *shard { return &v.shards[h>>v.shift] }
+
+// insert records hash h with bookkeeping r and reports whether the state
+// was new. In audit mode fp must be the canonical encoding; a known hash
+// carried by a different encoding increments the collision counter (the
+// state is still treated as visited, keeping audit-mode verdicts
+// identical to compact mode).
+func (v *visited) insert(h uint64, r rec, fp []byte) bool {
+	s := v.shard(h)
+	s.mu.Lock()
+	if _, ok := s.recs[h]; ok {
+		if v.audit && s.fps[h] != string(fp) {
+			s.collisions++
+		}
+		s.mu.Unlock()
+		return false
+	}
+	s.recs[h] = r
+	s.bytes += recBytes
+	if v.audit {
+		s.fps[h] = string(fp)
+		s.bytes += int64(16 + len(fp))
+	}
+	s.mu.Unlock()
+	return true
+}
+
+func (v *visited) lookup(h uint64) (rec, bool) {
+	s := v.shard(h)
+	s.mu.Lock()
+	r, ok := s.recs[h]
+	s.mu.Unlock()
+	return r, ok
+}
+
+// fpPool recycles the per-worker fingerprint scratch buffers.
+var fpPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// qent is one frontier entry: a full state plus its fingerprint hash.
 type qent struct {
 	state cimp.System[*gcmodel.Local]
-	fp    string
+	hash  uint64
+}
+
+// explorer is the shared run state of one exploration.
+type explorer struct {
+	m       *gcmodel.Model
+	checks  []invariant.Check
+	opt     Options
+	workers int
+	every   int
+
+	init     cimp.System[*gcmodel.Local]
+	initHash uint64
+	seen     *visited
+
+	states      atomic.Int64
+	transitions atomic.Int64
+	deadlocks   atomic.Int64
+	capped      atomic.Bool
+	violated    atomic.Bool
+	lastReport  atomic.Int64
+
+	violMu   sync.Mutex
+	viol     *Violation
+	violHash uint64
+
+	progressMu sync.Mutex
 }
 
 // Run explores the model's reachable states, checking every invariant at
-// every state, and stops at the first violation or when the space (or a
-// cap) is exhausted.
+// every state, and stops at the first (minimal-depth) violation or when
+// the space (or a cap) is exhausted.
 func Run(m *gcmodel.Model, checks []invariant.Check, opt Options) Result {
 	return RunFrom(m, m.Initial(), checks, opt)
 }
@@ -116,140 +282,295 @@ func Run(m *gcmodel.Model, checks []invariant.Check, opt Options) Result {
 // fusion disabled for a validation pass.
 func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invariant.Check, opt Options) Result {
 	start := time.Now()
-	res := Result{Complete: true}
-
-	initFP := m.Fingerprint(init)
-	seen := map[string]rec{initFP: {}}
-	queue := []qent{{state: init, fp: initFP}}
-
-	check := func(st cimp.System[*gcmodel.Local], fp string, depth int) *Violation {
-		g := gcmodel.Global{Model: m, State: st}
-		v := invariant.NewView(g)
-		for _, c := range checks {
-			if err := c.Pred(v); err != nil {
-				viol := &Violation{Invariant: c.Name, Err: err, Depth: depth, State: st}
-				if opt.Trace {
-					viol.Trace = replay(m, init, fpPath(seen, fp))
-				}
-				return viol
-			}
-		}
-		return nil
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-
-	if v := check(init, initFP, 0); v != nil {
-		res.Violation = v
-		res.States = 1
-		res.Complete = false
-		res.Elapsed = time.Since(start)
-		return res
+	every := opt.ProgressEvery
+	if every <= 0 {
+		every = 8192
 	}
-
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue[0] = qent{}
-		queue = queue[1:]
-		depth := int(seen[cur.fp].depth)
-		if depth > res.Depth {
-			res.Depth = depth
-		}
-		if opt.MaxDepth > 0 && depth >= opt.MaxDepth {
-			res.Complete = false
-			continue
-		}
-
-		out := 0
-		stop := false
-		m.Successors(cur.state, func(next cimp.System[*gcmodel.Local], ev cimp.Event) {
-			if stop {
-				return
-			}
-			out++
-			res.Transitions++
-			nfp := m.Fingerprint(next)
-			if _, ok := seen[nfp]; ok {
-				return
-			}
-			r := rec{depth: int32(depth + 1)}
-			if opt.Trace {
-				r.parent = cur.fp
-			}
-			seen[nfp] = r
-			if v := check(next, nfp, depth+1); v != nil {
-				res.Violation = v
-				stop = true
-				return
-			}
-			queue = append(queue, qent{state: next, fp: nfp})
-		})
-		if stop {
-			break
-		}
-		if out == 0 {
-			res.Deadlocks++
-		}
-		if opt.Progress != nil && len(seen)%4096 < 8 {
-			opt.Progress(len(seen), depth)
-		}
-		if opt.MaxStates > 0 && len(seen) >= opt.MaxStates {
-			res.Complete = false
-			break
-		}
+	e := &explorer{
+		m:       m,
+		checks:  checks,
+		opt:     opt,
+		workers: workers,
+		every:   every,
+		init:    init,
+		seen:    newVisited(opt.Shards, !opt.HashOnly),
 	}
-
-	res.States = len(seen)
-	if res.Violation != nil {
-		res.Complete = false
-	}
+	res := e.run()
 	res.Elapsed = time.Since(start)
 	return res
 }
 
-// fpPath walks parent links from fp back to the initial state and
-// returns the fingerprints along the way, initial state excluded, in
-// forward order.
-func fpPath(seen map[string]rec, fp string) []string {
-	var revPath []string
-	for fp != "" {
-		r, ok := seen[fp]
-		if !ok {
+func (e *explorer) run() Result {
+	res := Result{Complete: true}
+
+	bp := fpPool.Get().(*[]byte)
+	buf := e.m.AppendFingerprint((*bp)[:0], e.init)
+	e.initHash = gcmodel.Hash64(buf)
+	e.seen.insert(e.initHash, rec{eidx: -1}, buf)
+	*bp = buf
+	fpPool.Put(bp)
+	e.states.Store(1)
+
+	if v := e.check(e.init, 0); v != nil {
+		res.Violation = v
+		res.States = 1
+		res.Complete = false
+		e.collect(&res)
+		return res
+	}
+
+	layer := []qent{{state: e.init, hash: e.initHash}}
+	for depth := 0; len(layer) > 0; depth++ {
+		res.Depth = depth
+		if e.opt.MaxDepth > 0 && depth >= e.opt.MaxDepth {
+			res.Complete = false
 			break
 		}
-		if r.parent == "" && r.depth == 0 {
-			break // initial state
+		layer = e.expandLayer(layer, depth)
+		if e.violated.Load() {
+			break
 		}
-		revPath = append(revPath, fp)
-		fp = r.parent
+		if e.capped.Load() {
+			res.Complete = false
+			break
+		}
 	}
-	path := make([]string, 0, len(revPath))
-	for i := len(revPath) - 1; i >= 0; i-- {
-		path = append(path, revPath[i])
+
+	if e.viol != nil {
+		res.Violation = e.viol
+		res.Complete = false
+		if e.opt.Trace {
+			e.viol.Trace = e.replay(e.tracePath(e.violHash))
+		}
+	}
+	e.collect(&res)
+	return res
+}
+
+// collect folds the atomic and per-shard counters into the result.
+func (e *explorer) collect(res *Result) {
+	res.States = int(e.states.Load())
+	res.Transitions = int(e.transitions.Load())
+	res.Deadlocks = int(e.deadlocks.Load())
+	for i := range e.seen.shards {
+		res.HashCollisions += int(e.seen.shards[i].collisions)
+		res.VisitedBytes += e.seen.shards[i].bytes
+	}
+}
+
+// expandLayer expands every state of the depth-d layer and returns the
+// depth-d+1 layer. When a violation is found the remainder of the layer
+// is still expanded and checked, so that the reported violation is the
+// deterministic minimum over the whole layer and the state/transition
+// counts do not depend on worker scheduling.
+func (e *explorer) expandLayer(layer []qent, depth int) []qent {
+	k := e.workers
+	if k > len(layer) {
+		k = len(layer)
+	}
+	chunk := len(layer)/(k*8) + 1
+	if chunk > 256 {
+		chunk = 256
+	}
+	var cursor atomic.Int64
+	if k == 1 {
+		return e.expandChunks(layer, depth, &cursor, chunk)
+	}
+	nexts := make([][]qent, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nexts[w] = e.expandChunks(layer, depth, &cursor, chunk)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range nexts {
+		total += len(n)
+	}
+	next := make([]qent, 0, total)
+	for _, n := range nexts {
+		next = append(next, n...)
+	}
+	return next
+}
+
+// expandChunks is the worker body: it claims chunks of the current layer
+// from the shared cursor until the layer is drained (or the state cap
+// fires) and returns its share of the next layer.
+func (e *explorer) expandChunks(layer []qent, depth int, cursor *atomic.Int64, chunk int) []qent {
+	bp := fpPool.Get().(*[]byte)
+	buf := *bp
+	var next []qent
+	var transitions, deadlocks int64
+	nd := depth + 1
+claim:
+	for {
+		lo := int(cursor.Add(int64(chunk))) - chunk
+		if lo >= len(layer) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(layer) {
+			hi = len(layer)
+		}
+		for i := lo; i < hi; i++ {
+			if e.capped.Load() {
+				break claim
+			}
+			cur := layer[i]
+			out := 0
+			e.m.SuccessorsConcurrent(cur.state, func(ns cimp.System[*gcmodel.Local], ev cimp.Event) {
+				eidx := out
+				out++
+				transitions++
+				buf = e.m.AppendFingerprint(buf[:0], ns)
+				h := gcmodel.Hash64(buf)
+				var r rec
+				if e.opt.Trace {
+					r = rec{parent: cur.hash, eidx: int32(eidx)}
+				}
+				if !e.seen.insert(h, r, buf) {
+					return
+				}
+				n := e.states.Add(1)
+				e.maybeProgress(n, nd)
+				if e.opt.MaxStates > 0 && n >= int64(e.opt.MaxStates) {
+					e.capped.Store(true)
+				}
+				if v := e.check(ns, nd); v != nil {
+					e.offerViolation(v, h)
+					return
+				}
+				if !e.violated.Load() {
+					next = append(next, qent{state: ns, hash: h})
+				}
+			})
+			if out == 0 {
+				deadlocks++
+			}
+		}
+	}
+	e.transitions.Add(transitions)
+	e.deadlocks.Add(deadlocks)
+	*bp = buf
+	fpPool.Put(bp)
+	return next
+}
+
+// check evaluates the invariant battery at st.
+func (e *explorer) check(st cimp.System[*gcmodel.Local], depth int) *Violation {
+	if len(e.checks) == 0 {
+		return nil
+	}
+	g := gcmodel.Global{Model: e.m, State: st}
+	v := invariant.NewView(g)
+	for _, c := range e.checks {
+		if err := c.Pred(v); err != nil {
+			return &Violation{Invariant: c.Name, Err: err, Depth: depth, State: st}
+		}
+	}
+	return nil
+}
+
+// offerViolation records a violation candidate. All candidates of a run
+// come from the same BFS layer (the barrier stops descent), so they
+// share the minimal depth; the fingerprint hash breaks the tie between
+// them deterministically, independent of worker scheduling.
+func (e *explorer) offerViolation(v *Violation, h uint64) {
+	e.violMu.Lock()
+	if e.viol == nil || h < e.violHash {
+		e.viol, e.violHash = v, h
+	}
+	e.violMu.Unlock()
+	e.violated.Store(true)
+}
+
+// maybeProgress reports progress when at least ProgressEvery states have
+// been visited since the last report. The CAS on the monotonic counter
+// guarantees each interval is reported exactly once, from whichever
+// worker crosses it.
+func (e *explorer) maybeProgress(n int64, depth int) {
+	if e.opt.Progress == nil {
+		return
+	}
+	last := e.lastReport.Load()
+	if n-last < int64(e.every) || !e.lastReport.CompareAndSwap(last, n) {
+		return
+	}
+	e.progressMu.Lock()
+	e.opt.Progress(int(n), depth)
+	e.progressMu.Unlock()
+}
+
+// pathStep is one edge of a counterexample path: the fingerprint hash of
+// the state it leads to and the event index that produces it from its
+// predecessor.
+type pathStep struct {
+	hash uint64
+	eidx int32
+}
+
+// tracePath walks parent links from h back to the initial state and
+// returns the path in forward order, initial state excluded.
+func (e *explorer) tracePath(h uint64) []pathStep {
+	var rev []pathStep
+	for h != e.initHash {
+		r, ok := e.seen.lookup(h)
+		if !ok {
+			panic("explore: visited-set parent chain broken (fingerprint hash collision?)")
+		}
+		rev = append(rev, pathStep{hash: h, eidx: r.eidx})
+		h = r.parent
+	}
+	path := make([]pathStep, len(rev))
+	for i, p := range rev {
+		path[len(rev)-1-i] = p
 	}
 	return path
 }
 
-// replay materializes the states along a fingerprint path by re-running
-// the transition relation from the initial state, selecting at each step
-// the successor whose fingerprint matches.
-func replay(m *gcmodel.Model, init cimp.System[*gcmodel.Local], path []string) []Step {
+// replay materializes the states along a counterexample path by
+// re-running the transition relation from the initial state, selecting
+// at each step the recorded event index. Enumeration past the match does
+// no work, and one pooled scratch buffer serves every hash
+// cross-check along the way.
+func (e *explorer) replay(path []pathStep) []Step {
 	steps := make([]Step, 0, len(path))
-	cur := init
-	for _, want := range path {
+	cur := e.init
+	bp := fpPool.Get().(*[]byte)
+	buf := *bp
+	for _, ps := range path {
 		found := false
-		m.Successors(cur, func(next cimp.System[*gcmodel.Local], ev cimp.Event) {
+		idx := int32(0)
+		e.m.SuccessorsConcurrent(cur, func(next cimp.System[*gcmodel.Local], ev cimp.Event) {
 			if found {
 				return
 			}
-			if m.Fingerprint(next) == want {
+			if idx == ps.eidx {
+				buf = e.m.AppendFingerprint(buf[:0], next)
+				if gcmodel.Hash64(buf) != ps.hash {
+					panic("explore: counterexample replay diverged (fingerprint hash collision?)")
+				}
 				steps = append(steps, Step{Ev: ev, State: next})
 				cur = next
 				found = true
+				return
 			}
+			idx++
 		})
 		if !found {
 			// Should be impossible: the path came from this relation.
 			panic("explore: counterexample replay diverged")
 		}
 	}
+	*bp = buf
+	fpPool.Put(bp)
 	return steps
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package explore
+
+// raceEnabled reports whether the race detector is compiled in. The
+// deep state-space hunts multiply their wall-clock by the detector's
+// ~10-20x slowdown without exercising any concurrency the smaller
+// parallel tests don't already cover, so they skip themselves under
+// -race (see skipDeepHuntUnderRace).
+const raceEnabled = true

@@ -11,6 +11,7 @@ import (
 // TestSmokeTinyConfig model-checks the smallest interesting configuration
 // and requires every invariant to hold on its full reachable state space.
 func TestSmokeTinyConfig(t *testing.T) {
+	skipDeepHuntUnderRace(t)
 	if testing.Short() {
 		t.Skip("model checking is slow")
 	}
@@ -31,7 +32,7 @@ func TestSmokeTinyConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Run(m, invariant.All(), Options{Trace: true, MaxStates: 3_000_000})
+	res := Run(m, invariant.All(), Options{Trace: true, MaxStates: 3_000_000, HashOnly: true})
 	t.Logf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%v",
 		res.States, res.Transitions, res.Depth, res.Complete, res.Deadlocks, res.Elapsed)
 	if res.Violation != nil {

@@ -222,14 +222,11 @@ func (m *Model) Successors(st cimp.System[*Local], yield func(cimp.System[*Local
 	st.Successors(yield)
 }
 
-// Fingerprint canonically encodes a system state.
+// Fingerprint canonically encodes a system state as a string. The
+// checker's hot path uses AppendFingerprint/Hash64 (fingerprint.go)
+// instead to avoid one string allocation per enumerated successor.
 func (m *Model) Fingerprint(st cimp.System[*Local]) string {
-	var b []byte
-	for _, p := range st.Procs {
-		b = m.Index.AppendStack(b, p.Stack)
-		b = p.Data.AppendFingerprint(b)
-	}
-	return string(b)
+	return string(m.AppendFingerprint(nil, st))
 }
 
 // Global is a read-only view of a system state used by the invariant
