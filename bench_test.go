@@ -297,6 +297,77 @@ func BenchmarkExploreFingerprints(b *testing.B) {
 	}
 }
 
+// --- E17b: state-space reductions (POR + mutator symmetry) -------------
+//
+// BenchmarkExploreReduction compares exploration throughput and capped
+// state counts across the reduction modes on the standard tiny
+// configuration and on the symmetric two-mutator configuration (the one
+// where canonicalization folds). The soundness of the modes is the
+// subject of package diffcheck; EXPERIMENTS.md records the uncapped
+// shrink ratios.
+
+func BenchmarkExploreReduction(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		cfg  core.ModelConfig
+	}{
+		{"tiny", core.TinyConfig()},
+		{"two-sym", core.SymmetricConfig()},
+	} {
+		m, err := gcmodel.Build(c.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, md := range []struct {
+			name             string
+			reduce, symmetry bool
+		}{
+			{"full", false, false},
+			{"reduce", true, false},
+			{"reduce+symmetry", true, true},
+		} {
+			b.Run(c.name+"/"+md.name, func(b *testing.B) {
+				states := 0
+				for i := 0; i < b.N; i++ {
+					res := explore.Run(m, invariant.All(), explore.Options{
+						MaxStates: 50_000, HashOnly: true,
+						Reduce: md.reduce, Symmetry: md.symmetry,
+					})
+					if res.Violation != nil {
+						b.Fatal(res.Violation)
+					}
+					states += res.States
+				}
+				b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+			})
+		}
+	}
+}
+
+// BenchmarkLitmusReduction runs the whole published litmus battery
+// through the TSO explorer with and without partial-order reduction.
+func BenchmarkLitmusReduction(b *testing.B) {
+	for _, md := range []struct {
+		name string
+		opt  tso.ExploreOptions
+	}{
+		{"full", tso.ExploreOptions{}},
+		{"reduce", tso.ExploreOptions{Reduce: true}},
+	} {
+		b.Run(md.name, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				for _, tc := range litmus.All() {
+					for _, model := range []tso.Model{tso.TSO, tso.SC} {
+						states += tso.ExploreX(tc.Prog, model, md.opt).States
+					}
+				}
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/suite")
+		})
+	}
+}
+
 // --- E11: time-to-counterexample for the barrier ablations -------------
 
 func BenchmarkE11AblationCounterexample(b *testing.B) {

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		preset   = flag.String("preset", "tiny", "configuration preset: tiny, alloc, two-mutator, two-mutator-loads, chain, custom")
+		preset   = flag.String("preset", "tiny", "configuration preset: tiny, alloc, two-mutator, two-mutator-loads, two-sym, chain, custom")
 		mutators = flag.Int("mutators", 1, "custom: number of mutators")
 		refs     = flag.Int("refs", 2, "custom: reference universe size")
 		fields   = flag.Int("fields", 1, "custom: fields per object")
@@ -46,9 +46,11 @@ func main() {
 		headline  = flag.Bool("headline-only", false, "check only valid_refs_inv")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 
-		workers = flag.Int("workers", 0, "checker worker goroutines per BFS layer (0 = GOMAXPROCS)")
-		shards  = flag.Int("shards", 0, "visited-set lock stripes (0 = checker default)")
-		audit   = flag.Bool("audit", false, "retain full fingerprints and audit 64-bit hash collisions (costs memory)")
+		workers  = flag.Int("workers", 0, "checker worker goroutines per BFS layer (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "visited-set lock stripes (0 = checker default)")
+		audit    = flag.Bool("audit", false, "retain full fingerprints and audit 64-bit hash collisions (costs memory)")
+		reduce   = flag.Bool("reduce", false, "TSO-aware partial-order reduction (skip commuting buffer-local interleavings)")
+		symmetry = flag.Bool("symmetry", false, "canonicalize visited states modulo mutator permutation")
 	)
 	flag.Parse()
 
@@ -62,6 +64,8 @@ func main() {
 		cfg = core.TwoMutatorConfig()
 	case "two-mutator-loads":
 		cfg = core.TwoMutatorLoadsConfig()
+	case "two-sym":
+		cfg = core.SymmetricConfig()
 	case "chain":
 		cfg = core.ChainConfig()
 	case "custom":
@@ -93,6 +97,8 @@ func main() {
 		Workers:      *workers,
 		Shards:       *shards,
 		Audit:        *audit,
+		Reduce:       *reduce,
+		Symmetry:     *symmetry,
 	}
 	if !*quiet {
 		opt.Progress = func(states, depth int) {
@@ -111,6 +117,9 @@ func main() {
 
 	fmt.Printf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%v\n",
 		res.States, res.Transitions, res.Depth, res.Complete, res.Deadlocks, res.Elapsed)
+	if *reduce {
+		fmt.Printf("reduction: ample at %d of %d states\n", res.AmpleStates, res.States)
+	}
 	if res.States > 0 {
 		fmt.Printf("visited-set: %d bytes (%.1f B/state)\n",
 			res.VisitedBytes, float64(res.VisitedBytes)/float64(res.States))

@@ -54,6 +54,15 @@ type VerifyOptions struct {
 	// (VerifyResult.HashCollisions). It costs string-fingerprint memory
 	// and exists to validate the default compact-hash mode.
 	Audit bool
+	// Reduce enables the TSO-aware partial-order reduction (skip
+	// commuting interleavings of safe buffer-local steps); see
+	// explore.Options.Reduce. Verdicts are preserved; the BFS
+	// shortest-counterexample guarantee is not.
+	Reduce bool
+	// Symmetry collapses states that differ only by a
+	// standing-class-preserving permutation of the mutators; see
+	// explore.Options.Symmetry. No-op for single-mutator models.
+	Symmetry bool
 }
 
 // VerifyResult reports a verification run.
@@ -94,6 +103,8 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 		Workers:   opt.Workers,
 		Shards:    opt.Shards,
 		HashOnly:  !opt.Audit,
+		Reduce:    opt.Reduce,
+		Symmetry:  opt.Symmetry,
 	})
 	return VerifyResult{Result: res, Model: m}, nil
 }
@@ -173,6 +184,20 @@ func TwoMutatorConfig() ModelConfig {
 		DisableAlloc:  true,
 		DisableLoad:   true,
 	}
+}
+
+// SymmetricConfig makes TwoMutatorConfig's mutators fully
+// interchangeable — identical programs and identical initial roots — so
+// that mutator-symmetry canonicalization (VerifyOptions.Symmetry) can
+// fold permuted states. Discards and fences are disabled to keep the
+// exhaustive runs tractable; the state space still folds by nearly 2x
+// under symmetry (EXPERIMENTS.md E17).
+func SymmetricConfig() ModelConfig {
+	cfg := TwoMutatorConfig()
+	cfg.InitRoots = []heap.RefSet{heap.SetOf(0), heap.SetOf(0)}
+	cfg.DisableDiscard = true
+	cfg.DisableMFence = true
+	return cfg
 }
 
 // TwoMutatorLoadsConfig is TwoMutatorConfig with heap loads enabled:

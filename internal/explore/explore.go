@@ -29,6 +29,16 @@
 // is set, a compact (parent hash, event index) pair per state.
 // Counterexample traces are materialized afterwards by replaying the
 // recorded event indices from the initial state.
+//
+// # State-space reduction
+//
+// Options.Reduce enables a TSO-aware partial-order reduction (the ample
+// sets are chosen by gcmodel.AmpleChoice; see gcmodel/reduce.go for the
+// commutation argument) and Options.Symmetry keys the visited set by
+// mutator-symmetry-canonical fingerprints (gcmodel/symmetry.go). Both
+// preserve deterministic verdicts and concrete counterexample replay;
+// both are validated against full exploration by the differential
+// harness in internal/diffcheck. See DESIGN.md.
 package explore
 
 import (
@@ -82,6 +92,29 @@ type Options struct {
 	// is computed from hashes in both modes, so the two modes agree
 	// exactly whenever HashCollisions is 0).
 	HashOnly bool
+	// Reduce enables the TSO-aware partial-order reduction: at states
+	// where gcmodel.AmpleChoice nominates a safe buffer-local step
+	// (store-buffer enqueues, lock-shielded or single-writer reads,
+	// no-op fences, lock releases), only that single transition is
+	// pursued and the commuting interleavings against it are skipped.
+	// Reduced exploration visits a subset of the full state space and,
+	// by the ample-set argument in gcmodel/reduce.go, preserves the
+	// verdict; recorded event indices still number the *unreduced*
+	// successor enumeration, so counterexamples replay through the
+	// unreduced relation. Reduction is validated continuously against
+	// full exploration by the differential harness in
+	// internal/diffcheck. A reduced run loses the BFS
+	// shortest-counterexample guarantee: safe steps are taken eagerly,
+	// so a violation may be reported at a greater depth than the
+	// minimal one (never a different verdict).
+	Reduce bool
+	// Symmetry keys the visited set by mutator-symmetry-canonical
+	// fingerprints (gcmodel.AppendCanonicalFingerprint): states that
+	// differ only by a standing-class-preserving permutation of the
+	// mutators collapse into one visited entry. The frontier still
+	// carries concrete states, so traces remain concrete runs. No-op
+	// for single-mutator models.
+	Symmetry bool
 }
 
 // Step is one transition of a counterexample trace.
@@ -141,6 +174,10 @@ type Result struct {
 	// observed to share a 64-bit hash. Only audit mode (HashOnly off)
 	// can detect collisions; the count is always 0 in compact mode.
 	HashCollisions int
+	// AmpleStates counts the expanded states at which the partial-order
+	// reduction restricted the successor set to a single safe
+	// transition. Always 0 unless Options.Reduce.
+	AmpleStates int
 	// VisitedBytes is the payload memory retained by the visited set
 	// (keys, records, and audit-mode fingerprint strings; Go map bucket
 	// overhead excluded).
@@ -256,9 +293,14 @@ type explorer struct {
 	init     cimp.System[*gcmodel.Local]
 	initHash uint64
 	seen     *visited
+	// fp is the visited-set fingerprint encoder: the model's plain
+	// encoding, or the mutator-symmetry-canonical one under
+	// Options.Symmetry.
+	fp func([]byte, cimp.System[*gcmodel.Local]) []byte
 
 	states      atomic.Int64
 	transitions atomic.Int64
+	ample       atomic.Int64
 	deadlocks   atomic.Int64
 	capped      atomic.Bool
 	violated    atomic.Bool
@@ -299,6 +341,11 @@ func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invari
 		init:    init,
 		seen:    newVisited(opt.Shards, !opt.HashOnly),
 	}
+	if opt.Symmetry {
+		e.fp = m.AppendCanonicalFingerprint
+	} else {
+		e.fp = m.AppendFingerprint
+	}
 	res := e.run()
 	res.Elapsed = time.Since(start)
 	return res
@@ -308,7 +355,7 @@ func (e *explorer) run() Result {
 	res := Result{Complete: true}
 
 	bp := fpPool.Get().(*[]byte)
-	buf := e.m.AppendFingerprint((*bp)[:0], e.init)
+	buf := e.fp((*bp)[:0], e.init)
 	e.initHash = gcmodel.Hash64(buf)
 	e.seen.insert(e.initHash, rec{eidx: -1}, buf)
 	*bp = buf
@@ -355,6 +402,7 @@ func (e *explorer) run() Result {
 func (e *explorer) collect(res *Result) {
 	res.States = int(e.states.Load())
 	res.Transitions = int(e.transitions.Load())
+	res.AmpleStates = int(e.ample.Load())
 	res.Deadlocks = int(e.deadlocks.Load())
 	for i := range e.seen.shards {
 		res.HashCollisions += int(e.seen.shards[i].collisions)
@@ -408,7 +456,7 @@ func (e *explorer) expandChunks(layer []qent, depth int, cursor *atomic.Int64, c
 	bp := fpPool.Get().(*[]byte)
 	buf := *bp
 	var next []qent
-	var transitions, deadlocks int64
+	var transitions, ample, deadlocks int64
 	nd := depth + 1
 claim:
 	for {
@@ -425,43 +473,77 @@ claim:
 				break claim
 			}
 			cur := layer[i]
-			out := 0
-			e.m.SuccessorsConcurrent(cur.state, func(ns cimp.System[*gcmodel.Local], ev cimp.Event) {
-				eidx := out
-				out++
-				transitions++
-				buf = e.m.AppendFingerprint(buf[:0], ns)
-				h := gcmodel.Hash64(buf)
-				var r rec
-				if e.opt.Trace {
-					r = rec{parent: cur.hash, eidx: int32(eidx)}
+			var amp gcmodel.Ample
+			if e.opt.Reduce {
+				amp = e.m.AmpleChoice(cur.state)
+			}
+			out, taken := e.expandState(cur, nd, amp, &next, &transitions, &buf)
+			if amp.OK {
+				if taken > 0 {
+					ample++
+				} else {
+					// The oracle nominated a transition the relation
+					// refused (safeRequest should mirror the system
+					// guards exactly); expand fully rather than
+					// truncate the search. Nothing was inserted by the
+					// filtered pass, so re-expansion is clean.
+					out, _ = e.expandState(cur, nd, gcmodel.Ample{}, &next, &transitions, &buf)
 				}
-				if !e.seen.insert(h, r, buf) {
-					return
-				}
-				n := e.states.Add(1)
-				e.maybeProgress(n, nd)
-				if e.opt.MaxStates > 0 && n >= int64(e.opt.MaxStates) {
-					e.capped.Store(true)
-				}
-				if v := e.check(ns, nd); v != nil {
-					e.offerViolation(v, h)
-					return
-				}
-				if !e.violated.Load() {
-					next = append(next, qent{state: ns, hash: h})
-				}
-			})
+			}
 			if out == 0 {
 				deadlocks++
 			}
 		}
 	}
 	e.transitions.Add(transitions)
+	e.ample.Add(ample)
 	e.deadlocks.Add(deadlocks)
 	*bp = buf
 	fpPool.Put(bp)
 	return next
+}
+
+// expandState enumerates cur's successors — restricted to the ample
+// transition when amp.OK — inserting new states into the visited set
+// and the caller's next layer. It returns the full successor count and
+// the number of transitions actually taken. Event indices always
+// number the complete, unreduced enumeration (skipped successors still
+// advance eidx), so traces recorded under reduction replay through the
+// unreduced relation.
+func (e *explorer) expandState(cur qent, nd int, amp gcmodel.Ample, next *[]qent, transitions *int64, buf *[]byte) (out, taken int) {
+	b := *buf
+	e.m.SuccessorsConcurrent(cur.state, func(ns cimp.System[*gcmodel.Local], ev cimp.Event) {
+		eidx := out
+		out++
+		if amp.OK && !amp.Matches(ev) {
+			return
+		}
+		taken++
+		*transitions++
+		b = e.fp(b[:0], ns)
+		h := gcmodel.Hash64(b)
+		var r rec
+		if e.opt.Trace {
+			r = rec{parent: cur.hash, eidx: int32(eidx)}
+		}
+		if !e.seen.insert(h, r, b) {
+			return
+		}
+		n := e.states.Add(1)
+		e.maybeProgress(n, nd)
+		if e.opt.MaxStates > 0 && n >= int64(e.opt.MaxStates) {
+			e.capped.Store(true)
+		}
+		if v := e.check(ns, nd); v != nil {
+			e.offerViolation(v, h)
+			return
+		}
+		if !e.violated.Load() {
+			*next = append(*next, qent{state: ns, hash: h})
+		}
+	})
+	*buf = b
+	return out, taken
 }
 
 // check evaluates the invariant battery at st.
@@ -554,7 +636,7 @@ func (e *explorer) replay(path []pathStep) []Step {
 				return
 			}
 			if idx == ps.eidx {
-				buf = e.m.AppendFingerprint(buf[:0], next)
+				buf = e.fp(buf[:0], next)
 				if gcmodel.Hash64(buf) != ps.hash {
 					panic("explore: counterexample replay diverged (fingerprint hash collision?)")
 				}

@@ -128,6 +128,12 @@ type Model struct {
 	Cfg   Config
 	Index *cimp.Index[*Local]
 	init  cimp.System[*Local]
+
+	// Mutator-symmetry support (symmetry.go): the command-ID block base
+	// of each mutator program and the uniform block size, or mutBlock 0
+	// when canonicalization is unavailable.
+	mutBase  []int
+	mutBlock int
 }
 
 // NProcs is the total process count: collector + mutators + system.
@@ -207,11 +213,13 @@ func Build(cfg Config) (*Model, error) {
 	procs = append(procs, cimp.Config[*Local]{
 		Stack: cimp.Norm([]cimp.Com[*Local]{sysProg}, sysData), Data: sysData})
 
-	return &Model{
+	m := &Model{
 		Cfg:   cfg,
 		Index: cimp.NewIndex(progs...),
 		init:  cimp.System[*Local]{Procs: procs},
-	}, nil
+	}
+	m.setupSymmetry(progs[1:1+cfg.NMutators], sysProg)
+	return m, nil
 }
 
 // Initial returns the initial system state.

@@ -1,0 +1,186 @@
+package gcmodel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/cimp"
+)
+
+// This file implements mutator-symmetry canonicalization (package explore
+// wires it behind Options.Symmetry). The mutator programs are structurally
+// identical — MutProgram(i) differs only in its label prefix — so states
+// that differ only by a permutation of mutator identities have identical
+// futures up to the same permutation, and the checker needs to explore
+// only one representative per orbit.
+//
+// Canonicalization happens at the fingerprint level: instead of encoding
+// processes in PID order, AppendCanonicalFingerprint encodes each
+// mutator's complete footprint in the state (its control stack rebased to
+// mutator 0's command-ID block, its local data, its store buffer, its
+// handshake-pending bit, and whether it holds the TSO lock) as a
+// self-contained segment, sorts the segments lexicographically, and
+// splices them between the collector's block and the residual system
+// block. Two states receive the same canonical fingerprint exactly when
+// some mutator permutation maps one to the other, provided the
+// permutation also respects the standing classes below.
+//
+// Not every permutation is an automorphism of the transition relation:
+// the collector's handshake loop signals mutators in a fixed index order
+// (hsRound's signal targets GC.MutIdx literally). The canonical form
+// therefore tags each segment with a standing-class byte so that sorting
+// can only identify mutators whose relationship to the in-flight
+// handshake round is the same:
+//
+//   - the handshake-pending bit (a signaled mutator is not
+//     interchangeable with an unsignaled one);
+//   - the three-way comparison of the mutator's index with the
+//     collector's signal cursor GC.MutIdx — already signaled this round
+//     (<), next to be signaled (==, always a singleton class), or not
+//     yet reached (>);
+//   - TSO lock ownership (the lock word stores a literal PID; the
+//     owner's identity travels with its segment and the residual system
+//     block records only "a mutator holds it").
+//
+// The fixed signal order still distinguishes *which* not-yet-signaled
+// mutator will be reached first, so orbit equivalence under these
+// classes is a heuristic strengthening of exact bisimulation rather
+// than a consequence of it; the differential harness in package
+// diffcheck validates verdict equality against full exploration for
+// every shipped configuration, which is the soundness evidence this
+// repo relies on. Symmetry is off by default.
+//
+// The frontier always holds concrete states — canonicalization applies
+// only to visited-set keys — so counterexample traces remain concrete
+// runs of the unreduced transition relation.
+
+// setupSymmetry records the command-ID block layout of the mutator
+// programs, enabling canonical fingerprints. Mutator i's program nodes
+// occupy the contiguous ID range [mutBase[i], mutBase[i]+mutBlock): the
+// index walks program roots in build order and programs share no nodes.
+// Called by Build; symmetry stays disabled (mutBlock == 0) for
+// single-mutator models or if the blocks are not uniform.
+func (m *Model) setupSymmetry(mutProgs []cimp.Com[*Local], sysProg cimp.Com[*Local]) {
+	n := len(mutProgs)
+	if n < 2 {
+		return
+	}
+	bases := make([]int, n+1)
+	for i, p := range mutProgs {
+		bases[i] = m.Index.ID(p)
+	}
+	bases[n] = m.Index.ID(sysProg)
+	size := bases[1] - bases[0]
+	for i := 1; i < n; i++ {
+		if bases[i+1]-bases[i] != size {
+			return
+		}
+	}
+	m.mutBase = bases[:n]
+	m.mutBlock = size
+}
+
+// SymmetryActive reports whether canonical fingerprints actually fold
+// mutator permutations for this model (at least two mutators with
+// uniform program blocks). When false, AppendCanonicalFingerprint
+// degenerates to AppendFingerprint.
+func (m *Model) SymmetryActive() bool { return m.mutBlock > 0 }
+
+// mutClass is the standing class of mutator ordinal i: the properties a
+// permutation must preserve for the canonical form to identify two
+// mutators. See the file comment.
+func mutClass(s *SysLocal, gcMutIdx, i int) byte {
+	var c byte
+	if s.Pending[i] {
+		c |= 1
+	}
+	switch {
+	case i == gcMutIdx:
+		c |= 2
+	case i > gcMutIdx:
+		c |= 4
+	}
+	if s.Lock == MutPID(i) {
+		c |= 8
+	}
+	return c
+}
+
+// appendRebasedStack encodes mutator ord's control stack with every
+// command ID translated into mutator 0's block, so that structurally
+// corresponding control points encode identically across mutators.
+func (m *Model) appendRebasedStack(dst []byte, ord int, stack []cimp.Com[*Local]) []byte {
+	delta := m.mutBase[ord] - m.mutBase[0]
+	dst = binary.AppendUvarint(dst, uint64(len(stack)))
+	for _, c := range stack {
+		dst = binary.AppendUvarint(dst, uint64(m.Index.ID(c)-delta))
+	}
+	return dst
+}
+
+// appendWActs encodes one store buffer (same layout as the system
+// block of Local.AppendFingerprint).
+func appendWActs(dst []byte, buf []WAct) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(buf)))
+	for _, w := range buf {
+		dst = binary.AppendVarint(dst, int64(w.Loc.Kind))
+		dst = binary.AppendVarint(dst, int64(w.Loc.R))
+		dst = binary.AppendVarint(dst, int64(w.Loc.F))
+		dst = binary.AppendVarint(dst, int64(w.Val))
+	}
+	return dst
+}
+
+// AppendCanonicalFingerprint appends an encoding of st that is invariant
+// under standing-class-preserving permutations of the mutators, and
+// injective on states up to exactly those permutations. Layout:
+// collector stack + data, then the sorted mutator segments (each
+// length-prefixed: class byte, rebased stack, data, own store buffer),
+// then the system process's stack and a residual system block with the
+// mutator buffers, pending bits, and lock-holder identity removed
+// (they travel inside the segments).
+func (m *Model) AppendCanonicalFingerprint(dst []byte, st cimp.System[*Local]) []byte {
+	if m.mutBlock == 0 {
+		return m.AppendFingerprint(dst, st)
+	}
+	n := m.Cfg.NMutators
+	sysIdx := len(st.Procs) - 1
+	sys := st.Procs[sysIdx].Data.Sys
+	gcMutIdx := st.Procs[0].Data.GC.MutIdx
+
+	dst = m.Index.AppendStack(dst, st.Procs[0].Stack)
+	dst = st.Procs[0].Data.AppendFingerprint(dst)
+
+	segs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pid := MutPID(i)
+		seg := []byte{mutClass(sys, gcMutIdx, i)}
+		seg = m.appendRebasedStack(seg, i, st.Procs[pid].Stack)
+		seg = st.Procs[pid].Data.AppendFingerprint(seg)
+		seg = appendWActs(seg, sys.Bufs[pid])
+		segs[i] = seg
+	}
+	sort.Slice(segs, func(a, b int) bool { return bytes.Compare(segs[a], segs[b]) < 0 })
+	for _, seg := range segs {
+		dst = binary.AppendUvarint(dst, uint64(len(seg)))
+		dst = append(dst, seg...)
+	}
+
+	dst = m.Index.AppendStack(dst, st.Procs[sysIdx].Stack)
+	dst = append(dst, 'S')
+	dst = sys.Heap.AppendFingerprint(dst)
+	dst = appendBools(dst, sys.FA, sys.FM)
+	dst = binary.AppendVarint(dst, int64(sys.Phase))
+	lock := int64(sys.Lock)
+	if sys.Lock >= 1 && int(sys.Lock) <= n {
+		lock = -2 // held by a mutator; which one is in its segment's class
+	}
+	dst = binary.AppendVarint(dst, lock)
+	dst = appendWActs(dst, sys.Bufs[GCPID])
+	dst = appendWActs(dst, sys.Bufs[sysIdx])
+	dst = binary.AppendVarint(dst, int64(sys.HSType))
+	dst = binary.AppendVarint(dst, int64(sys.Tag))
+	dst = binary.AppendUvarint(dst, uint64(sys.W))
+	return dst
+}

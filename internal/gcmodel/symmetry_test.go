@@ -1,0 +1,125 @@
+package gcmodel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cimp"
+	"repro/internal/heap"
+)
+
+func symTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Build(Config{
+		NMutators: 2,
+		NRefs:     2,
+		NFields:   1,
+		MaxBuf:    1,
+		OpBudget:  1,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {heap.NilRef},
+		},
+		InitRoots:     []heap.RefSet{heap.SetOf(0), heap.SetOf(0)},
+		AllowNilStore: true,
+		DisableAlloc:  true,
+		DisableLoad:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SymmetryActive() {
+		t.Fatal("two structurally identical mutators should activate symmetry")
+	}
+	return m
+}
+
+// mutatedInit builds a copy of the initial state in which mutator
+// ordinal mut has extended roots (the distinguishing mark) and the
+// collector's handshake signal cursor is gcMutIdx.
+func mutatedInit(m *Model, mut, gcMutIdx int) cimp.System[*Local] {
+	st := m.Initial().CloneShallow()
+	g := st.Procs[0].Data.Clone()
+	g.GC.MutIdx = gcMutIdx
+	st.Procs[0].Data = g
+	l := st.Procs[MutPID(mut)].Data.Clone()
+	l.Mut.Roots = heap.SetOf(0, 1)
+	st.Procs[MutPID(mut)].Data = l
+	return st
+}
+
+// TestCanonicalFingerprintFoldsMutatorSwap: two states that differ only
+// by swapping the mutators' local data must canonicalize identically
+// when both mutators are in the same standing class (signal cursor past
+// both), while the plain fingerprint tells them apart.
+func TestCanonicalFingerprintFoldsMutatorSwap(t *testing.T) {
+	m := symTestModel(t)
+	a := mutatedInit(m, 0, 2)
+	b := mutatedInit(m, 1, 2)
+
+	if ca, cb := m.AppendCanonicalFingerprint(nil, a), m.AppendCanonicalFingerprint(nil, b); !bytes.Equal(ca, cb) {
+		t.Error("canonical fingerprints differ across a pure mutator swap")
+	}
+	if fa, fb := m.AppendFingerprint(nil, a), m.AppendFingerprint(nil, b); bytes.Equal(fa, fb) {
+		t.Error("plain fingerprints should distinguish the swapped states (else the test is vacuous)")
+	}
+}
+
+// TestCanonicalFingerprintRespectsStandingClasses: when the collector's
+// signal cursor sits at mutator 0, the two mutators are in different
+// standing classes (next-to-signal vs not-yet-reached), so the swap
+// must NOT fold — identifying them would conflate states with
+// genuinely different handshake futures.
+func TestCanonicalFingerprintRespectsStandingClasses(t *testing.T) {
+	m := symTestModel(t)
+	a := mutatedInit(m, 0, 0)
+	b := mutatedInit(m, 1, 0)
+	if ca, cb := m.AppendCanonicalFingerprint(nil, a), m.AppendCanonicalFingerprint(nil, b); bytes.Equal(ca, cb) {
+		t.Error("canonical fingerprints folded mutators in different standing classes")
+	}
+}
+
+// TestCanonicalFingerprintKeepsDistinctStatesApart: canonicalization
+// must stay injective up to permutation — states that are not related
+// by any mutator permutation keep distinct fingerprints.
+func TestCanonicalFingerprintKeepsDistinctStatesApart(t *testing.T) {
+	m := symTestModel(t)
+	a := mutatedInit(m, 0, 2)
+	init := m.Initial().CloneShallow()
+	g := init.Procs[0].Data.Clone()
+	g.GC.MutIdx = 2
+	init.Procs[0].Data = g
+	if ca, ci := m.AppendCanonicalFingerprint(nil, a), m.AppendCanonicalFingerprint(nil, init); bytes.Equal(ca, ci) {
+		t.Error("canonical fingerprint conflated permutation-inequivalent states")
+	}
+}
+
+// TestSymmetryInactiveSingleMutator: with one mutator there is nothing
+// to permute; the canonical fingerprint must degrade to the plain one.
+func TestSymmetryInactiveSingleMutator(t *testing.T) {
+	cfg := Config{
+		NMutators: 1,
+		NRefs:     2,
+		NFields:   1,
+		MaxBuf:    1,
+		OpBudget:  1,
+		InitObjects: map[heap.Ref][]heap.Ref{
+			0: {1},
+			1: {heap.NilRef},
+		},
+		InitRoots:     []heap.RefSet{heap.SetOf(0)},
+		AllowNilStore: true,
+		DisableAlloc:  true,
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SymmetryActive() {
+		t.Fatal("single-mutator model should not activate symmetry")
+	}
+	st := m.Initial()
+	if !bytes.Equal(m.AppendCanonicalFingerprint(nil, st), m.AppendFingerprint(nil, st)) {
+		t.Error("inactive symmetry should yield the plain fingerprint")
+	}
+}

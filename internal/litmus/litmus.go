@@ -86,12 +86,13 @@ func All() []Test {
 	return []Test{
 		SB(), SBFence(), SBCas(), SBOneFence(),
 		MP(), MPFence(),
-		LB(), R(), TwoPlusTwoW(),
+		LB(), R(), RCas(), TwoPlusTwoW(),
 		CoWR(), CoWRFence(),
 		IRIW(),
 		WRC(),
 		CASExclusion(),
 		FetchAddSerial(),
+		N4b(), N5(), N6(),
 	}
 }
 
@@ -366,6 +367,96 @@ func TwoPlusTwoW() Test {
 			},
 		},
 		Witness: func(o tso.Outcome) bool { return o.Mem[x] == 1 && o.Mem[y] == 1 },
+		TSO:     false, SC: false,
+	}
+}
+
+// N4b is Sewell et al.'s example n4b: each thread loads a location and
+// then stores to it. Observing the other thread's store in one's load
+// (r0 = 2 in thread 0 and r0 = 1 in thread 1) would need each load to
+// follow the other thread's program-later store — a cycle, forbidden on
+// TSO (loads are not reordered with earlier loads, stores not with
+// earlier stores) and under SC.
+func N4b() Test {
+	return Test{
+		Name:        "n4b",
+		Description: "load-then-store pair: the crossed reads would need a cycle",
+		Prog: tso.Program{
+			NumAddrs: 1, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.Ld{Dst: r0, Addr: x}, tso.St{Addr: x, Val: 1}},
+				{tso.Ld{Dst: r0, Addr: x}, tso.St{Addr: x, Val: 2}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 2 && o.Regs[1][0] == 1 },
+		TSO:     false, SC: false,
+	}
+}
+
+// N5 is Sewell et al.'s example n5: each thread stores to the same
+// location and then loads it back. Store forwarding makes each thread
+// read its own store (or a later overwrite), so observing only the
+// *other* thread's value on both sides would need the two commits to
+// each precede the other — forbidden on TSO and under SC.
+func N5() Test {
+	return Test{
+		Name:        "n5",
+		Description: "store-then-load pair to one location: forwarding forbids the crossed reads",
+		Prog: tso.Program{
+			NumAddrs: 1, NumRegs: 1,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.Ld{Dst: r0, Addr: x}},
+				{tso.St{Addr: x, Val: 2}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Regs[0][0] == 2 && o.Regs[1][0] == 1 },
+		TSO:     false, SC: false,
+	}
+}
+
+// N6 is Sewell et al.'s example n6 (the x86-CC vs x86-TSO separator):
+// thread 0 stores x, reads x back (forwarded from its own buffer), and
+// reads y; with thread 0's store still buffered, thread 1 can commit
+// y = 2 then x = 2, after which thread 0's x = 1 commits last. Thread 0
+// then saw its own x = 1 and the old y = 0 with final memory x = 1 —
+// observable under TSO via forwarding, forbidden under SC.
+func N6() Test {
+	return Test{
+		Name:        "n6",
+		Description: "forwarding makes a buffered store visible early: TSO-observable, SC-forbidden",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.Ld{Dst: r0, Addr: x}, tso.Ld{Dst: r1, Addr: y}},
+				{tso.St{Addr: y, Val: 2}, tso.St{Addr: x, Val: 2}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool {
+			return o.Regs[0][0] == 1 && o.Regs[0][1] == 0 && o.Mem[x] == 1
+		},
+		TSO: true, SC: false,
+	}
+}
+
+// RCas is the R shape with thread 1's store replaced by a locked CAS:
+// the locked instruction drains and writes memory atomically, so if the
+// CAS succeeds (y was still 0), thread 0's buffered y = 1 must commit
+// after it, making final y = 1; and once thread 0's stores have
+// committed the CAS fails. The R witness (final y from the CAS with
+// r0 = 0) becomes unobservable even under TSO — the contrast with R,
+// where the plain store leaves it observable.
+func RCas() Test {
+	return Test{
+		Name:        "R+cas",
+		Description: "R with a locked CMPXCHG: the locked write closes the TSO window",
+		Prog: tso.Program{
+			NumAddrs: 2, NumRegs: 2,
+			Threads: [][]tso.Instr{
+				{tso.St{Addr: x, Val: 1}, tso.St{Addr: y, Val: 1}},
+				{tso.CAS{Dst: r1, Addr: y, Old: 0, New: 2}, tso.Ld{Dst: r0, Addr: x}},
+			},
+		},
+		Witness: func(o tso.Outcome) bool { return o.Mem[y] == 2 && o.Regs[1][0] == 0 },
 		TSO:     false, SC: false,
 	}
 }
