@@ -18,6 +18,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/invariant"
 	"repro/internal/litmus"
+	"repro/internal/liveness"
 	"repro/internal/sched"
 	"repro/internal/tso"
 )
@@ -659,5 +660,34 @@ func seedList(rt *gcrt.Runtime, n int) {
 	}
 	for i := m.NumRoots() - 1; i > head; i-- {
 		m.Discard(i)
+	}
+}
+
+// --- E18: liveness — fair-cycle search over the state graph -----------
+
+// BenchmarkE18Liveness measures the full progress check (graph build
+// over the unreduced relation plus one SCC pass per property) on a
+// small stores-only configuration; EXPERIMENTS.md records the uncapped
+// preset costs.
+func BenchmarkE18Liveness(b *testing.B) {
+	cfg := core.TinyConfig()
+	cfg.OpBudget = 1
+	cfg.MaxBuf = 1
+	cfg.DisableLoad = true
+	cfg.DisableDiscard = true
+	m, err := gcmodel.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := liveness.Check(m, liveness.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Holds() {
+			b.Fatal("clean model violated a progress property")
+		}
+		b.ReportMetric(float64(res.States), "states")
 	}
 }

@@ -1,7 +1,10 @@
 // gcmc model-checks the collector model: it explores every reachable
 // state of a bounded configuration of GC ∥ M1 ∥ … ∥ Mn ∥ Sys over
 // x86-TSO and checks the paper's safety invariants at each one,
-// printing a counterexample trace on violation.
+// printing a counterexample trace on violation. With -liveness it
+// additionally runs the fair-cycle detector over the same state graph
+// and reports a verdict per progress property, with lasso-shaped
+// counterexamples.
 //
 // Usage:
 //
@@ -11,17 +14,62 @@
 //
 //	gcmc -preset tiny                     # verify the headline theorem
 //	gcmc -preset tiny -no-deletion-barrier  # reproduce the lost-object bug
+//	gcmc -preset tiny -liveness           # also check progress properties
+//	gcmc -preset tiny -liveness -mute-handshake  # find a fair cycle
 //	gcmc -mutators 2 -refs 2 -budget 1    # custom configuration
+//	gcmc -preset tiny -json               # machine-readable verdict
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/heap"
 )
+
+// jsonVerdict is the machine-readable output of -json: the overall
+// verdict plus exploration statistics and, when -liveness ran,
+// per-property results.
+type jsonVerdict struct {
+	Preset      string  `json:"preset"`
+	Verdict     string  `json:"verdict"` // verified | no-violation | violation | liveness-violation
+	States      int     `json:"states"`
+	Transitions int     `json:"transitions"`
+	Depth       int     `json:"depth"`
+	Complete    bool    `json:"complete"`
+	Deadlocks   int     `json:"deadlocks"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+
+	Violation *jsonViolation `json:"violation,omitempty"`
+	Liveness  *jsonLiveness  `json:"liveness,omitempty"`
+}
+
+type jsonViolation struct {
+	Invariant string `json:"invariant"`
+	Depth     int    `json:"depth"`
+	TraceLen  int    `json:"trace_len"`
+}
+
+type jsonLiveness struct {
+	States      int            `json:"states"`
+	Transitions int            `json:"transitions"`
+	Depth       int            `json:"depth"`
+	Complete    bool           `json:"complete"`
+	ElapsedSec  float64        `json:"elapsed_sec"`
+	Holds       bool           `json:"holds"`
+	Properties  []jsonProperty `json:"properties"`
+}
+
+type jsonProperty struct {
+	Name     string `json:"name"`
+	Holds    bool   `json:"holds"`
+	StemLen  int    `json:"stem_len,omitempty"`
+	CycleLen int    `json:"cycle_len,omitempty"`
+}
 
 func main() {
 	var (
@@ -41,16 +89,22 @@ func main() {
 		elide2     = flag.Bool("elide-hs2", false, "skip handshake round 2 (E12)")
 		elide3     = flag.Bool("elide-hs3", false, "skip handshake round 3 (E12)")
 		elide4     = flag.Bool("elide-hs4", false, "skip handshake round 4 (E12)")
+		muteHS     = flag.Bool("mute-handshake", false, "liveness ablation: mutators never poll handshakes (breaks hs-ack)")
+		noDeq      = flag.Bool("no-dequeue", false, "liveness ablation: buffered stores are never committed (breaks buf-drain)")
 
 		maxStates = flag.Int("max-states", 0, "cap on distinct states (0 = none)")
 		headline  = flag.Bool("headline-only", false, "check only valid_refs_inv")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON verdict on stdout")
 
 		workers  = flag.Int("workers", 0, "checker worker goroutines per BFS layer (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "visited-set lock stripes (0 = checker default)")
 		audit    = flag.Bool("audit", false, "retain full fingerprints and audit 64-bit hash collisions (costs memory)")
 		reduce   = flag.Bool("reduce", false, "TSO-aware partial-order reduction (skip commuting buffer-local interleavings)")
 		symmetry = flag.Bool("symmetry", false, "canonicalize visited states modulo mutator permutation")
+
+		live      = flag.Bool("liveness", false, "also run the fair-cycle liveness checker on the unreduced state graph")
+		liveProps = flag.String("live-prop", "", "comma-separated progress properties to check (default all: hs-ack-m<i>, gc-sweep, buf-drain-gc, buf-drain-m<i>)")
 	)
 	flag.Parse()
 
@@ -89,6 +143,8 @@ func main() {
 	cfg.ElideHS2 = *elide2
 	cfg.ElideHS3 = *elide3
 	cfg.ElideHS4 = *elide4
+	cfg.MuteHandshake = *muteHS
+	cfg.NoDequeue = *noDeq
 
 	opt := core.VerifyOptions{
 		MaxStates:    *maxStates,
@@ -99,6 +155,11 @@ func main() {
 		Audit:        *audit,
 		Reduce:       *reduce,
 		Symmetry:     *symmetry,
+		Liveness:     *live,
+	}
+	if *liveProps != "" {
+		opt.LivenessProps = strings.Split(*liveProps, ",")
+		opt.Liveness = true
 	}
 	if !*quiet {
 		opt.Progress = func(states, depth int) {
@@ -113,6 +174,14 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
+	}
+
+	if *jsonOut {
+		emitJSON(*preset, res)
+		if !res.Holds() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%v\n",
@@ -132,15 +201,88 @@ func main() {
 			fmt.Println("audit: 0 fingerprint hash collisions")
 		}
 	}
-	if res.Holds() {
-		if res.Complete {
-			fmt.Println("VERIFIED: all invariants hold on the full reachable state space")
-		} else {
-			fmt.Println("NO VIOLATION found within the explored bound")
-		}
-		return
+	if res.Violation != nil {
+		fmt.Println("VIOLATION:")
+		fmt.Print(res.RenderViolation())
+		os.Exit(1)
 	}
-	fmt.Println("VIOLATION:")
-	fmt.Print(res.RenderViolation())
-	os.Exit(1)
+	if lr := res.Liveness; lr != nil {
+		fmt.Printf("liveness: states=%d transitions=%d depth=%d complete=%v graph=%d bytes elapsed=%v\n",
+			lr.States, lr.Transitions, lr.Depth, lr.Complete, lr.GraphBytes, lr.Elapsed)
+		for _, p := range lr.Properties {
+			verdict := "holds"
+			if !p.Holds {
+				verdict = "FAIR CYCLE"
+			}
+			fmt.Printf("  %-14s %-10s %s\n", p.Name, verdict, p.Desc)
+		}
+		if !lr.Holds() {
+			for _, p := range lr.Violations() {
+				fmt.Printf("LIVENESS VIOLATION: %s (%s)\n", p.Name, p.Desc)
+				fmt.Print(p.Counterexample.Render(res.Model))
+			}
+			os.Exit(1)
+		}
+	}
+	if res.Complete {
+		if res.Liveness != nil {
+			fmt.Println("VERIFIED: all invariants and progress properties hold on the full reachable state space")
+		} else {
+			fmt.Println("VERIFIED: all invariants hold on the full reachable state space")
+		}
+	} else {
+		fmt.Println("NO VIOLATION found within the explored bound")
+	}
+}
+
+// emitJSON prints the machine-readable verdict.
+func emitJSON(preset string, res core.VerifyResult) {
+	v := jsonVerdict{
+		Preset:      preset,
+		States:      res.States,
+		Transitions: res.Transitions,
+		Depth:       res.Depth,
+		Complete:    res.Complete,
+		Deadlocks:   res.Deadlocks,
+		ElapsedSec:  res.Elapsed.Seconds(),
+	}
+	switch {
+	case res.Violation != nil:
+		v.Verdict = "violation"
+		v.Violation = &jsonViolation{
+			Invariant: res.Violation.Invariant,
+			Depth:     res.Violation.Depth,
+			TraceLen:  len(res.Violation.Trace),
+		}
+	case res.Liveness != nil && !res.Liveness.Holds():
+		v.Verdict = "liveness-violation"
+	case res.Complete:
+		v.Verdict = "verified"
+	default:
+		v.Verdict = "no-violation"
+	}
+	if lr := res.Liveness; lr != nil {
+		jl := &jsonLiveness{
+			States:      lr.States,
+			Transitions: lr.Transitions,
+			Depth:       lr.Depth,
+			Complete:    lr.Complete,
+			ElapsedSec:  lr.Elapsed.Seconds(),
+			Holds:       lr.Holds(),
+		}
+		for _, p := range lr.Properties {
+			jp := jsonProperty{Name: p.Name, Holds: p.Holds}
+			if l := p.Counterexample; l != nil {
+				jp.StemLen, jp.CycleLen = len(l.Stem), len(l.Cycle)
+			}
+			jl.Properties = append(jl.Properties, jp)
+		}
+		v.Liveness = jl
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "gcmc:", err)
+		os.Exit(2)
+	}
 }

@@ -42,7 +42,10 @@ func main() {
 	// Random walks need no bounded-context reduction.
 	cfg.OpBudget = 0
 
-	totalSteps, totalCycles := 0, 0
+	// Run every requested walk even after a violation — the remaining
+	// seeds may expose distinct failures — then exit nonzero if any walk
+	// violated, so CI can gate on the exit status.
+	totalSteps, totalCycles, violations := 0, 0, 0
 	for i := 0; i < *seeds; i++ {
 		seed := *first + int64(i)
 		res, err := core.Simulate(cfg, core.SimulateOptions{
@@ -55,11 +58,17 @@ func main() {
 		totalSteps += res.Steps
 		totalCycles += res.Cycles
 		if res.Violation != nil {
-			fmt.Printf("seed %d: VIOLATION %v\n", seed, res.Violation)
-			os.Exit(1)
+			violations++
+			fmt.Printf("seed %4d: VIOLATION %v\n", seed, res.Violation)
+			continue
 		}
 		fmt.Printf("seed %4d: %d steps, %d collector cycles, all invariants held\n",
 			seed, res.Steps, res.Cycles)
+	}
+	if violations > 0 {
+		fmt.Printf("TOTAL: %d steps, %d cycles across %d walks — %d VIOLATED\n",
+			totalSteps, totalCycles, *seeds, violations)
+		os.Exit(1)
 	}
 	fmt.Printf("TOTAL: %d steps, %d cycles across %d walks — no violations\n",
 		totalSteps, totalCycles, *seeds)

@@ -19,6 +19,8 @@
 //     predicates (§3.2);
 //   - internal/explore, internal/sched: the explicit-state model checker
 //     and random-walk simulator;
+//   - internal/liveness: progress properties and weakly fair cycle
+//     detection over the model's state graph;
 //   - internal/gcrt: the executable Schism-style collector kernel with
 //     real goroutine mutators;
 //   - internal/core: the library façade.

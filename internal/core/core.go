@@ -24,6 +24,7 @@ import (
 	"repro/internal/gcrt"
 	"repro/internal/heap"
 	"repro/internal/invariant"
+	"repro/internal/liveness"
 	"repro/internal/sched"
 )
 
@@ -63,6 +64,17 @@ type VerifyOptions struct {
 	// standing-class-preserving permutation of the mutators; see
 	// explore.Options.Symmetry. No-op for single-mutator models.
 	Symmetry bool
+	// Liveness additionally runs the fair-cycle liveness checker
+	// (package liveness) after the safety exploration: every progress
+	// property is checked for weakly fair violating cycles, with lasso
+	// counterexamples in VerifyResult.Liveness. The liveness pass always
+	// re-explores the full, unreduced relation, regardless of
+	// Reduce/Symmetry (see DESIGN.md "Liveness architecture"), and is
+	// skipped when the safety pass already found a violation.
+	Liveness bool
+	// LivenessProps selects a subset of the progress properties by name
+	// (nil = all; see liveness.All).
+	LivenessProps []string
 }
 
 // VerifyResult reports a verification run.
@@ -71,11 +83,16 @@ type VerifyResult struct {
 	explore.Result
 	// Model is the built model (for rendering traces).
 	Model *gcmodel.Model
+	// Liveness is the fair-cycle checker's outcome, nil unless
+	// VerifyOptions.Liveness was set (and the safety pass was clean).
+	Liveness *liveness.Result
 }
 
 // Holds reports whether every checked invariant held on every explored
-// state.
-func (r VerifyResult) Holds() bool { return r.Violation == nil }
+// state and, if the liveness pass ran, every progress property held.
+func (r VerifyResult) Holds() bool {
+	return r.Violation == nil && (r.Liveness == nil || r.Liveness.Holds())
+}
 
 // RenderViolation formats the counterexample, or "" if none.
 func (r VerifyResult) RenderViolation() string {
@@ -106,7 +123,27 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 		Reduce:    opt.Reduce,
 		Symmetry:  opt.Symmetry,
 	})
-	return VerifyResult{Result: res, Model: m}, nil
+	vr := VerifyResult{Result: res, Model: m}
+	if opt.Liveness && res.Violation == nil {
+		var props []liveness.Property
+		if opt.LivenessProps != nil {
+			props, err = liveness.ByName(m, opt.LivenessProps)
+			if err != nil {
+				return vr, fmt.Errorf("core: %w", err)
+			}
+		}
+		lres, err := liveness.Check(m, liveness.Options{
+			MaxStates:  opt.MaxStates,
+			MaxDepth:   opt.MaxDepth,
+			Progress:   opt.Progress,
+			Properties: props,
+		})
+		if err != nil {
+			return vr, fmt.Errorf("core: %w", err)
+		}
+		vr.Liveness = &lres
+	}
+	return vr, nil
 }
 
 // SimulateOptions configures a randomized deep run.

@@ -56,6 +56,65 @@ func TestVerifyFindsAblationViolationWithTrace(t *testing.T) {
 	}
 }
 
+// livenessTestConfig is TinyConfig shrunk (stores only, budget 1) so
+// the sequential liveness graph build stays in test time.
+func livenessTestConfig() ModelConfig {
+	cfg := TinyConfig()
+	cfg.OpBudget = 1
+	cfg.MaxBuf = 1
+	cfg.DisableLoad = true
+	cfg.DisableDiscard = true
+	return cfg
+}
+
+func TestVerifyLivenessCleanModel(t *testing.T) {
+	res, err := Verify(livenessTestConfig(), VerifyOptions{Liveness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Liveness == nil {
+		t.Fatal("liveness result missing")
+	}
+	if !res.Holds() {
+		t.Fatalf("clean model violated: %+v", res.Liveness.Violations())
+	}
+	// The liveness pass re-explores the same unreduced relation the
+	// safety checker just walked: the graphs must agree exactly.
+	if res.Liveness.States != res.States ||
+		res.Liveness.Transitions != res.Transitions ||
+		res.Liveness.Depth != res.Depth {
+		t.Fatalf("liveness graph (%d states, %d transitions, depth %d) disagrees with safety exploration (%d, %d, %d)",
+			res.Liveness.States, res.Liveness.Transitions, res.Liveness.Depth,
+			res.States, res.Transitions, res.Depth)
+	}
+}
+
+func TestVerifyLivenessAblatedModel(t *testing.T) {
+	cfg := livenessTestConfig()
+	cfg.MuteHandshake = true
+	res, err := Verify(cfg, VerifyOptions{Liveness: true, LivenessProps: []string{"hs-ack-m0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected safety violation:\n%s", res.RenderViolation())
+	}
+	if res.Holds() {
+		t.Fatal("muted-handshake model should violate hs-ack-m0")
+	}
+	vs := res.Liveness.Violations()
+	if len(vs) != 1 || vs[0].Name != "hs-ack-m0" || vs[0].Counterexample == nil {
+		t.Fatalf("expected a single hs-ack-m0 counterexample, got %+v", vs)
+	}
+}
+
+func TestVerifyLivenessRejectsUnknownProperty(t *testing.T) {
+	_, err := Verify(livenessTestConfig(), VerifyOptions{Liveness: true, LivenessProps: []string{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown property") {
+		t.Fatalf("expected unknown-property error, got %v", err)
+	}
+}
+
 func TestSimulateRunsToCompletion(t *testing.T) {
 	cfg := AllocConfig()
 	cfg.OpBudget = 0 // walks need no bounded-context reduction

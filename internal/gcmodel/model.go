@@ -54,10 +54,19 @@ type Config struct {
 	// TSO-specific (E13).
 	SCMemory   bool
 	AllocWhite bool // allocate with the unmarked sense during all phases
-	ElideHS1   bool // skip handshake round 1 (idle noop)
-	ElideHS2   bool // skip handshake round 2 (after f_M flip)
-	ElideHS3   bool // skip handshake round 3 (after phase ← Init)
-	ElideHS4   bool // skip handshake round 4 (after phase ← Mark)
+	// Liveness ablations (package liveness): each removes one
+	// progress-critical transition without touching safety, so the
+	// fair-cycle detector has a real, fair violation to find.
+	// MuteHandshake drops the mutators' handshake alternative entirely:
+	// handshakes are still signaled but never polled or acknowledged.
+	// NoDequeue drops the system's internal dequeue transition: stores
+	// enter the buffers but are never committed to memory.
+	MuteHandshake bool
+	NoDequeue     bool
+	ElideHS1      bool // skip handshake round 1 (idle noop)
+	ElideHS2      bool // skip handshake round 2 (after f_M flip)
+	ElideHS3      bool // skip handshake round 3 (after phase ← Init)
+	ElideHS4      bool // skip handshake round 4 (after phase ← Mark)
 
 	// State-space controls.
 	//

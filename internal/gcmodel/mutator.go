@@ -227,7 +227,10 @@ func (c *Config) MutProgram(m int) cimp.Com[*Local] {
 			)),
 	)
 
-	alts := []cimp.Com[*Local]{handshake}
+	var alts []cimp.Com[*Local]
+	if !c.MuteHandshake {
+		alts = append(alts, handshake)
+	}
 	if !c.DisableLoad {
 		alts = append(alts, load)
 	}

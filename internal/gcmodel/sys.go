@@ -217,10 +217,11 @@ func (c *Config) SysProgram() cimp.Com[*Local] {
 			n.Sys.W = 0
 			return one(n, Resp{W: w})
 		}),
-
+	}
+	if !c.NoDequeue {
 		// The single internal transition of Figure 9: commit the oldest
 		// pending write of any unblocked process.
-		&cimp.LocalOp[*Local]{L: "sys-dequeue-write-buffer", F: func(l *Local) []*Local {
+		alts = append(alts, &cimp.LocalOp[*Local]{L: "sys-dequeue-write-buffer", F: func(l *Local) []*Local {
 			var out []*Local
 			for p := range l.Sys.Bufs {
 				pid := cimp.PID(p)
@@ -239,7 +240,7 @@ func (c *Config) SysProgram() cimp.Com[*Local] {
 				out = append(out, n)
 			}
 			return out
-		}},
+		}})
 	}
 	return &cimp.Loop[*Local]{Body: &cimp.Choose[*Local]{Alts: alts}}
 }

@@ -1,0 +1,199 @@
+package liveness
+
+import (
+	"repro/internal/cimp"
+	"repro/internal/gcmodel"
+)
+
+// graph is the materialized reachable state graph of one bounded model
+// instance. The safety checker never stores edges — it only needs the
+// BFS frontier — but cycle detection needs the whole graph at once, so
+// the builder keeps a compressed-sparse-row edge list alongside the
+// per-node metadata the fairness check and lasso reconstruction need.
+// States themselves are discarded after expansion; a node is its 64-bit
+// fingerprint hash plus its (parent, event-index) recipe, exactly the
+// representation the safety checker replays traces from.
+type graph struct {
+	m    *gcmodel.Model
+	ents entities
+
+	// Per-node arrays, indexed by node id. Ids are assigned in BFS
+	// discovery order, which is also expansion order.
+	hash   []uint64 // fingerprint hash
+	bad    []uint32 // property bitmask: bit i ⇔ props[i].Bad holds here
+	en     []uint64 // fairness entities enabled here (∪ of taken masks over the FULL enumeration, including cap-dropped edges)
+	parent []int32  // BFS parent id (-1 at the root)
+	peidx  []int32  // event index that produced this node from parent
+	depth  []int32
+
+	// CSR out-edges: node u's edges occupy indices estart[u] ..
+	// estart[u+1]-1. A MaxStates cap drops edges whose target is over
+	// the cap but keeps their bits in en, so dropped edges only remove
+	// cycles and taken-coverage — they can never excuse an entity.
+	// MaxDepth-cut nodes stay unexpanded with no out-edges, so no cycle
+	// passes through them. Either way capped runs under-approximate:
+	// they never fabricate violations.
+	estart []int32
+	eto    []int32  // target node id
+	etaken []uint64 // fairness entities this edge serves
+	eeidx  []int32  // event index in the source's successor enumeration
+
+	transitions int
+	maxDepth    int
+	complete    bool
+}
+
+// bytes is the payload memory retained by the graph arrays.
+func (g *graph) bytes() int64 {
+	nodes := int64(len(g.hash)) * (8 + 4 + 8 + 4 + 4 + 4)
+	edges := int64(len(g.eto))*(4+8+4) + int64(len(g.estart))*4
+	return nodes + edges
+}
+
+// outEdges returns the CSR index range of node u's out-edges.
+func (g *graph) outEdges(u int32) (int32, int32) {
+	return g.estart[u], g.estart[u+1]
+}
+
+// buildGraph explores m breadth-first over the full, unreduced
+// transition relation and returns the materialized graph. Node ids and
+// edge order are deterministic: BFS discovery order over the
+// deterministic successor enumeration.
+func buildGraph(m *gcmodel.Model, props []Property, ents entities, opt Options) *graph {
+	g := &graph{m: m, ents: ents}
+	every := opt.ProgressEvery
+	if every <= 0 {
+		every = 8192
+	}
+
+	badMask := func(st gcmodel.SysState) uint32 {
+		gl := gcmodel.Global{Model: m, State: st}
+		var mask uint32
+		for i := range props {
+			if props[i].Bad(gl) {
+				mask |= 1 << uint(i)
+			}
+		}
+		return mask
+	}
+
+	ids := make(map[uint64]int32, 1<<16)
+	// states[u] holds node u's concrete state until u is expanded, at
+	// which point it is released; BFS order makes this a sliding window
+	// in principle, but a single slice indexed by id keeps the code
+	// simple and costs only the (small) struct headers.
+	var states []gcmodel.SysState
+
+	add := func(st gcmodel.SysState, h uint64, parent, eidx, d int32) int32 {
+		id := int32(len(g.hash))
+		ids[h] = id
+		g.hash = append(g.hash, h)
+		g.bad = append(g.bad, badMask(st))
+		g.parent = append(g.parent, parent)
+		g.peidx = append(g.peidx, eidx)
+		g.depth = append(g.depth, d)
+		states = append(states, st)
+		if int(d) > g.maxDepth {
+			g.maxDepth = int(d)
+		}
+		if opt.Progress != nil && id%int32(every) == 0 {
+			opt.Progress(int(id)+1, int(d))
+		}
+		return id
+	}
+
+	init := m.Initial()
+	var fpbuf []byte
+	fpbuf = m.AppendFingerprint(fpbuf, init)
+	add(init, gcmodel.Hash64(fpbuf), -1, -1, 0)
+
+	capped := false
+	depthCut := false
+	for u := int32(0); int(u) < len(g.hash); u++ {
+		g.estart = append(g.estart, int32(len(g.eto)))
+		su := states[u]
+		states[u] = gcmodel.SysState{}
+		if opt.MaxDepth > 0 && int(g.depth[u]) >= opt.MaxDepth {
+			g.en = append(g.en, 0)
+			depthCut = true
+			continue
+		}
+		var en uint64
+		eidx := int32(-1)
+		m.Successors(su, func(ns gcmodel.SysState, ev cimp.Event) {
+			eidx++
+			g.transitions++
+			// Enabledness must be computed from the FULL successor
+			// enumeration, before any cap drops the edge: weak fairness
+			// excuses entities that are disabled somewhere on a cycle, so
+			// an under-computed en mask would excuse genuinely enabled
+			// entities and fabricate fair cycles on capped runs.
+			tk := g.takenMask(su, ev, ns)
+			en |= tk
+			fpbuf = m.AppendFingerprint(fpbuf[:0], ns)
+			h := gcmodel.Hash64(fpbuf)
+			vid, ok := ids[h]
+			if !ok {
+				if opt.MaxStates > 0 && len(g.hash) >= opt.MaxStates {
+					// Target state over the cap: drop the edge (the edge
+					// list only ever references real nodes), keep its
+					// taken bits in en.
+					capped = true
+					return
+				}
+				vid = add(ns, h, u, eidx, g.depth[u]+1)
+			}
+			g.eto = append(g.eto, vid)
+			g.etaken = append(g.etaken, tk)
+			g.eeidx = append(g.eeidx, eidx)
+		})
+		g.en = append(g.en, en)
+	}
+	g.estart = append(g.estart, int32(len(g.eto))) // sentinel
+	g.complete = !capped && !depthCut
+	if opt.Progress != nil {
+		opt.Progress(len(g.hash), g.maxDepth)
+	}
+	return g
+}
+
+// takenMask computes the fairness entities served by the transition
+// su —ev→ ns:
+//
+//   - a collector or mutator step serves that process's entity (system
+//     responder halves are attributed to the requester: the system is
+//     always willing, so fairness obligations belong to the requesting
+//     process);
+//   - a mutator step that starts from or lands in a state where the
+//     mutator holds a polled pending bit (HSP) additionally serves the
+//     mutator's handshake-response entity — it advances the handshake
+//     protocol (poll, handshake work, done);
+//   - the system's internal dequeue step serves the drain entity of
+//     the buffer it pops.
+func (g *graph) takenMask(su gcmodel.SysState, ev cimp.Event, ns gcmodel.SysState) uint64 {
+	sysPID := g.m.SysPID()
+	if ev.Proc == sysPID {
+		if !ev.Tau() {
+			// The system never initiates rendezvous; defensive only.
+			return 0
+		}
+		sb := gcmodel.Global{Model: g.m, State: su}.Sys().Bufs
+		nb := gcmodel.Global{Model: g.m, State: ns}.Sys().Bufs
+		for p := range sb {
+			if len(nb[p]) < len(sb[p]) {
+				return g.ents.drain(cimp.PID(p))
+			}
+		}
+		return 0
+	}
+	mask := g.ents.proc(ev.Proc)
+	if ev.Proc != gcmodel.GCPID {
+		mi := int(ev.Proc) - 1
+		srcHSP := (gcmodel.Global{Model: g.m, State: su}).Mut(mi).HSP
+		dstHSP := (gcmodel.Global{Model: g.m, State: ns}).Mut(mi).HSP
+		if srcHSP || dstHSP {
+			mask |= g.ents.hs(mi)
+		}
+	}
+	return mask
+}
