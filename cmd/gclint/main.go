@@ -1,0 +1,277 @@
+// gclint statically analyzes the collector model and the litmus
+// catalogue without model-checking anything. It has three modes:
+//
+//   - -preset/-ablation flags: extract the effect footprint of one model
+//     configuration, build the per-process control-flow graphs, and
+//     evaluate the placement rules (deletion-barrier, insertion-barrier,
+//     mark-cas, handshake-fence, phase-ladder). Exit status 1 iff a rule
+//     fired — so a barrier-, lock-, or fence-ablated configuration is
+//     rejected in milliseconds, before any exploration.
+//
+//   - -litmus: run the Shasha–Snir TSO-robustness analysis on every
+//     litmus program and report which store→load pairs lie on critical
+//     cycles. With -dyn, each verdict is cross-checked against the
+//     dynamic ground truth (TSO vs SC outcome-set equality under
+//     tso.Explore).
+//
+//   - -all: the CI gate. Lints every shipped preset (expecting no
+//     findings) and the full litmus catalogue with the dynamic
+//     cross-check (expecting static soundness: every program whose TSO
+//     outcomes exceed SC is flagged). Exit status 1 on any surprise.
+//
+// Usage:
+//
+//	gclint [flags]
+//
+// Examples:
+//
+//	gclint -preset tiny                    # lint the default model: clean
+//	gclint -preset tiny -no-hs-fence       # rule handshake-fence fires, exit 1
+//	gclint -preset tiny -relaxed           # also show relaxed pairs + fence coverage
+//	gclint -litmus -dyn                    # static verdicts vs dynamic ground truth
+//	gclint -all                            # full static gate (CI entry point)
+//	gclint -preset tiny -json              # machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/tso"
+)
+
+// jsonModel is the machine-readable model lint report.
+type jsonModel struct {
+	Preset   string        `json:"preset"`
+	Clean    bool          `json:"clean"`
+	Findings []jsonFinding `json:"findings,omitempty"`
+	Relaxed  []jsonPair    `json:"relaxed,omitempty"`
+	Fences   []jsonFence   `json:"fence_coverage,omitempty"`
+}
+
+type jsonFinding struct {
+	Rule   string `json:"rule"`
+	PID    int    `json:"pid"`
+	Label  string `json:"label"`
+	Detail string `json:"detail"`
+}
+
+type jsonPair struct {
+	PID   int    `json:"pid"`
+	Store string `json:"store"`
+	Load  string `json:"load"`
+}
+
+type jsonFence struct {
+	PID    int    `json:"pid"`
+	Label  string `json:"label"`
+	Covers int    `json:"covers"`
+}
+
+// jsonLitmus is the machine-readable litmus robustness report.
+type jsonLitmus struct {
+	Name     string   `json:"name"`
+	Robust   bool     `json:"robust"`
+	Critical []string `json:"critical,omitempty"`
+	// Dynamic is the ground-truth verdict (TSO outcome set == SC outcome
+	// set), present with -dyn.
+	Dynamic *bool `json:"dynamic_robust,omitempty"`
+}
+
+func presets() map[string]core.ModelConfig {
+	return map[string]core.ModelConfig{
+		"tiny":              core.TinyConfig(),
+		"alloc":             core.AllocConfig(),
+		"two-mutator":       core.TwoMutatorConfig(),
+		"two-mutator-loads": core.TwoMutatorLoadsConfig(),
+		"two-sym":           core.SymmetricConfig(),
+		"chain":             core.ChainConfig(),
+	}
+}
+
+func main() {
+	var (
+		preset  = flag.String("preset", "tiny", "model preset to lint: tiny, alloc, two-mutator, two-mutator-loads, two-sym, chain")
+		relaxed = flag.Bool("relaxed", false, "also print the informational relaxed store→load pairs and per-fence coverage")
+
+		noDel     = flag.Bool("no-deletion-barrier", false, "ablate the deletion barrier")
+		noIns     = flag.Bool("no-insertion-barrier", false, "ablate the insertion barrier")
+		insGate   = flag.Bool("insertion-barrier-gated", false, "drop the insertion barrier after root marking")
+		unlockedM = flag.Bool("unlocked-mark", false, "ablate the TSO lock around the mark CAS")
+		noHSFence = flag.Bool("no-hs-fence", false, "ablate the mfences around handshake signalling")
+		scMem     = flag.Bool("sc", false, "sequential-consistency memory oracle instead of TSO")
+		elide1    = flag.Bool("elide-hs1", false, "skip handshake round 1")
+		elide2    = flag.Bool("elide-hs2", false, "skip handshake round 2")
+		elide3    = flag.Bool("elide-hs3", false, "skip handshake round 3")
+		elide4    = flag.Bool("elide-hs4", false, "skip handshake round 4")
+
+		litmusMode = flag.Bool("litmus", false, "analyze the litmus catalogue instead of a model configuration")
+		dyn        = flag.Bool("dyn", false, "litmus: cross-check each static verdict against TSO/SC exploration")
+		all        = flag.Bool("all", false, "CI gate: lint every preset and the litmus catalogue with -dyn")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		os.Exit(runAll(*jsonOut))
+	case *litmusMode:
+		os.Exit(runLitmus(*dyn, *jsonOut))
+	}
+
+	cfg, ok := presets()[*preset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gclint: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	cfg.NoDeletionBarrier = *noDel
+	cfg.NoInsertionBarrier = *noIns
+	cfg.InsertionBarrierOnlyBeforeRootsDone = *insGate
+	cfg.UnlockedMark = *unlockedM
+	cfg.NoHSFence = *noHSFence
+	cfg.SCMemory = *scMem
+	cfg.ElideHS1 = *elide1
+	cfg.ElideHS2 = *elide2
+	cfg.ElideHS3 = *elide3
+	cfg.ElideHS4 = *elide4
+
+	rep, err := analysis.LintModel(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		emitModelJSON(*preset, rep, *relaxed)
+	} else {
+		printModel(*preset, rep, *relaxed)
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}
+
+func printModel(preset string, rep *analysis.ModelReport, relaxed bool) {
+	if rep.Clean() {
+		fmt.Printf("%s: clean (no placement rule fired)\n", preset)
+	} else {
+		fmt.Printf("%s: %d finding(s)\n", preset, len(rep.Findings))
+		for _, f := range rep.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if relaxed {
+		fmt.Printf("relaxed store→load pairs (informational — the model tolerates these): %d\n", len(rep.Relaxed))
+		for _, p := range rep.Relaxed {
+			fmt.Printf("  p%d: %s → %s\n", p.PID, p.Store, p.Load)
+		}
+		for _, c := range rep.FenceCoverage {
+			fmt.Printf("fence p%d %s suppresses %d pair(s)\n", c.PID, c.Label, c.Covers)
+		}
+	}
+}
+
+func emitModelJSON(preset string, rep *analysis.ModelReport, relaxed bool) {
+	v := jsonModel{Preset: preset, Clean: rep.Clean()}
+	for _, f := range rep.Findings {
+		v.Findings = append(v.Findings, jsonFinding{Rule: f.Rule, PID: int(f.PID), Label: f.Label, Detail: f.Detail})
+	}
+	if relaxed {
+		for _, p := range rep.Relaxed {
+			v.Relaxed = append(v.Relaxed, jsonPair{PID: int(p.PID), Store: p.Store, Load: p.Load})
+		}
+		for _, c := range rep.FenceCoverage {
+			v.Fences = append(v.Fences, jsonFence{PID: int(c.PID), Label: c.Label, Covers: c.Covers})
+		}
+	}
+	emit(v)
+}
+
+// runLitmus analyzes the catalogue; with dyn it cross-checks against
+// exploration. Returns the exit status: 1 iff a static verdict is
+// unsound (a dynamically non-robust program not flagged).
+func runLitmus(dyn, jsonOut bool) int {
+	status := 0
+	var out []jsonLitmus
+	for _, tc := range litmus.All() {
+		rep := analysis.AnalyzeTSOProgram(tc.Prog)
+		j := jsonLitmus{Name: tc.Name, Robust: rep.Robust}
+		for _, p := range rep.Critical {
+			j.Critical = append(j.Critical, p.String())
+		}
+		note := ""
+		if dyn {
+			d := robustDynamic(tc.Prog)
+			j.Dynamic = &d
+			switch {
+			case !d && rep.Robust:
+				note = "  UNSOUND: TSO outcomes exceed SC but not flagged"
+				status = 1
+			case d && !rep.Robust:
+				note = "  (conservative: outcome sets coincide)"
+			}
+		}
+		out = append(out, j)
+		if !jsonOut {
+			verdict := "robust"
+			if !rep.Robust {
+				verdict = fmt.Sprintf("NOT TSO-robust: %v", rep.Critical)
+			}
+			fmt.Printf("%-22s %s%s\n", tc.Name, verdict, note)
+		}
+	}
+	if jsonOut {
+		emit(out)
+	}
+	return status
+}
+
+// runAll is the CI gate: every shipped preset must lint clean and every
+// litmus verdict must be dynamically sound.
+func runAll(jsonOut bool) int {
+	status := 0
+	for name, cfg := range presets() {
+		rep, err := analysis.LintModel(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: %s: %v\n", name, err)
+			return 2
+		}
+		if !rep.Clean() {
+			status = 1
+		}
+		if !jsonOut {
+			printModel(name, rep, false)
+		}
+	}
+	if s := runLitmus(true, jsonOut); s != 0 {
+		status = s
+	}
+	return status
+}
+
+func robustDynamic(p tso.Program) bool {
+	a, b := tso.Explore(p, tso.TSO), tso.Explore(p, tso.SC)
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
+		os.Exit(2)
+	}
+}

@@ -18,6 +18,8 @@
 //	gcmc -preset tiny -liveness -mute-handshake  # find a fair cycle
 //	gcmc -mutators 2 -refs 2 -budget 1    # custom configuration
 //	gcmc -preset tiny -json               # machine-readable verdict
+//	gcmc -preset tiny -lint -no-hs-fence  # static preflight names the broken rule
+//	gcmc -preset tiny -validate-effects   # cross-check the static effect table
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/heap"
 )
@@ -85,6 +88,8 @@ func main() {
 		insGate    = flag.Bool("insertion-barrier-gated", false, "drop the insertion barrier after root marking (§4 observation, E12b)")
 		scMem      = flag.Bool("sc", false, "sequential-consistency memory oracle instead of TSO (E13)")
 		allocWhite = flag.Bool("alloc-white", false, "allocate with the unmarked sense (E11)")
+		unlockedM  = flag.Bool("unlocked-mark", false, "ablate the TSO lock around the mark CAS (E19)")
+		noHSFence  = flag.Bool("no-hs-fence", false, "ablate the mfences around handshake signalling (E19)")
 		elide1     = flag.Bool("elide-hs1", false, "skip handshake round 1 (E12)")
 		elide2     = flag.Bool("elide-hs2", false, "skip handshake round 2 (E12)")
 		elide3     = flag.Bool("elide-hs3", false, "skip handshake round 3 (E12)")
@@ -103,6 +108,8 @@ func main() {
 		reduce   = flag.Bool("reduce", false, "TSO-aware partial-order reduction (skip commuting buffer-local interleavings)")
 		symmetry = flag.Bool("symmetry", false, "canonicalize visited states modulo mutator permutation")
 
+		lint      = flag.Bool("lint", false, "static preflight: run the gclint placement rules on the configuration before exploring")
+		validate  = flag.Bool("validate-effects", false, "cross-check the declared effect footprint and derived POR class on every transition/state")
 		live      = flag.Bool("liveness", false, "also run the fair-cycle liveness checker on the unreduced state graph")
 		liveProps = flag.String("live-prop", "", "comma-separated progress properties to check (default all: hs-ack-m<i>, gc-sweep, buf-drain-gc, buf-drain-m<i>)")
 	)
@@ -139,6 +146,8 @@ func main() {
 	cfg.InsertionBarrierOnlyBeforeRootsDone = *insGate
 	cfg.SCMemory = *scMem
 	cfg.AllocWhite = *allocWhite
+	cfg.UnlockedMark = *unlockedM
+	cfg.NoHSFence = *noHSFence
 	cfg.ElideHS1 = *elide1
 	cfg.ElideHS2 = *elide2
 	cfg.ElideHS3 = *elide3
@@ -146,16 +155,33 @@ func main() {
 	cfg.MuteHandshake = *muteHS
 	cfg.NoDequeue = *noDeq
 
+	if *lint {
+		rep, err := analysis.LintModel(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcmc: lint:", err)
+			os.Exit(2)
+		}
+		if rep.Clean() {
+			fmt.Fprintln(os.Stderr, "lint: clean (no placement rule fired)")
+		} else {
+			fmt.Fprintf(os.Stderr, "lint: %d finding(s) — the exploration below should find the corresponding violation:\n", len(rep.Findings))
+			for _, f := range rep.Findings {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+		}
+	}
+
 	opt := core.VerifyOptions{
-		MaxStates:    *maxStates,
-		Trace:        true,
-		HeadlineOnly: *headline,
-		Workers:      *workers,
-		Shards:       *shards,
-		Audit:        *audit,
-		Reduce:       *reduce,
-		Symmetry:     *symmetry,
-		Liveness:     *live,
+		MaxStates:       *maxStates,
+		Trace:           true,
+		HeadlineOnly:    *headline,
+		Workers:         *workers,
+		Shards:          *shards,
+		Audit:           *audit,
+		Reduce:          *reduce,
+		Symmetry:        *symmetry,
+		Liveness:        *live,
+		ValidateEffects: *validate,
 	}
 	if *liveProps != "" {
 		opt.LivenessProps = strings.Split(*liveProps, ",")
@@ -188,6 +214,10 @@ func main() {
 		res.States, res.Transitions, res.Depth, res.Complete, res.Deadlocks, res.Elapsed)
 	if *reduce {
 		fmt.Printf("reduction: ample at %d of %d states\n", res.AmpleStates, res.States)
+	}
+	if res.Effects != nil {
+		ev, st := res.Effects.Stats()
+		fmt.Printf("effects: %d transitions and %d states validated against the declared footprint\n", ev, st)
 	}
 	if res.States > 0 {
 		fmt.Printf("visited-set: %d bytes (%.1f B/state)\n",

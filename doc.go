@@ -21,6 +21,10 @@
 //     and random-walk simulator;
 //   - internal/liveness: progress properties and weakly fair cycle
 //     detection over the model's state graph;
+//   - internal/analysis: the static effect/robustness analyzer (declared
+//     effect footprints, CFG dataflow, Shasha–Snir robustness, placement
+//     rules, POR safe-class derivation), cross-checked against the
+//     dynamic checker; cmd/gclint is its CLI;
 //   - internal/gcrt: the executable Schism-style collector kernel with
 //     real goroutine mutators;
 //   - internal/core: the library façade.

@@ -1,0 +1,361 @@
+// Package golint is a small, dependency-free static pass over the
+// repository's own Go source: it flags iteration over Go maps in any
+// function reachable from the state fingerprinting entry points.
+//
+// The model checker's verdict determinism rests on fingerprints being
+// byte-identical for equal states; Go map iteration order is
+// deliberately randomized, so a `for range m` over a map anywhere in
+// the fingerprint call graph is a determinism bug even when every run
+// happens to produce the same verdict. The dynamic tests cannot catch
+// it reliably (the order can coincide), which is exactly the case for a
+// static check.
+//
+// The pass is a deliberately minimal go/analysis-style framework built
+// on the standard library only (go/parser + go/types; no x/tools): it
+// loads a package and its in-module dependencies from source, builds a
+// conservative static call graph from the requested root functions
+// (direct calls, method calls, and interface calls widened to every
+// same-name concrete method in the loaded packages), and reports every
+// range statement over a map-typed operand in the reachable set.
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Func    string // the containing function, types.Func notation
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Func, d.Message)
+}
+
+// pkg is one loaded source package: syntax, types, and type info.
+type pkg struct {
+	files []*ast.File
+	info  *types.Info
+	tpkg  *types.Package
+}
+
+// loader parses and type-checks in-module packages from source,
+// delegating everything else (the standard library) to the compiler's
+// source importer. Loaded packages keep their syntax and type info so
+// the call graph can span the whole module.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string // module directory
+	modPath string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*pkg // by import path
+	loading map[string]bool
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*pkg),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over the module + stdlib split.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.tpkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one in-module package by import path.
+func (l *loader) load(path string) (*pkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("golint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+	if path == l.modPath {
+		dir = l.modRoot
+	}
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("golint: type-checking %s: %w", path, err)
+	}
+	p := &pkg{files: files, info: info, tpkg: tpkg}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the non-test Go files of dir in sorted order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("golint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// moduleOf walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func moduleOf(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("golint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("golint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// CheckDir loads the package in dir (resolving in-module imports from
+// source) and reports every range-over-map in a function reachable from
+// the functions or methods named in roots. A fixture directory outside
+// any module is rejected only if it imports non-stdlib packages.
+func CheckDir(dir string, roots []string) ([]Diagnostic, error) {
+	modRoot, modPath, err := moduleOf(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	l := newLoader(modRoot, modPath)
+	if _, err := l.load(path); err != nil {
+		return nil, err
+	}
+	return l.analyze(roots)
+}
+
+// funcBody pairs a function object with its syntax (which may contain
+// nested function literals — those run, at the latest, when the
+// enclosing function's value escapes, so their calls and ranges are
+// attributed to the enclosing declaration).
+type funcBody struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	p    *pkg
+}
+
+// analyze builds the call graph over every loaded package and reports
+// reachable map ranges. It is an error for a root to match no declared
+// function: a renamed entry point must fail the lint, not trivially
+// pass it.
+func (l *loader) analyze(roots []string) ([]Diagnostic, error) {
+	rootSet := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+
+	// Collect every function declaration with a body, keyed by object.
+	bodies := make(map[*types.Func]funcBody)
+	// Concrete methods by name, for interface-call widening.
+	byName := make(map[string][]*types.Func)
+	var work []*types.Func
+	for _, p := range l.pkgs {
+		for _, f := range p.files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				bodies[obj] = funcBody{fn: obj, decl: fd, p: p}
+				if fd.Recv != nil {
+					byName[obj.Name()] = append(byName[obj.Name()], obj)
+				}
+				if rootSet[obj.Name()] {
+					work = append(work, obj)
+				}
+			}
+		}
+	}
+
+	found := make(map[string]bool, len(work))
+	for _, fn := range work {
+		found[fn.Name()] = true
+	}
+	for _, r := range roots {
+		if !found[r] {
+			return nil, fmt.Errorf("golint: root %q matches no function declaration", r)
+		}
+	}
+
+	// Reachability over static calls.
+	reached := make(map[*types.Func]bool)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reached[fn] {
+			continue
+		}
+		reached[fn] = true
+		fb, ok := bodies[fn]
+		if !ok {
+			continue // declared in a package we did not load (stdlib)
+		}
+		for _, callee := range l.callees(fb, byName) {
+			if !reached[callee] {
+				work = append(work, callee)
+			}
+		}
+	}
+
+	// Report map ranges in reached bodies.
+	var out []Diagnostic
+	for fn := range reached {
+		fb, ok := bodies[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := fb.p.info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				out = append(out, Diagnostic{
+					Pos:     l.fset.Position(rs.Pos()),
+					Func:    fn.FullName(),
+					Message: fmt.Sprintf("iteration over map %s in fingerprint call graph: order is randomized", tv.Type),
+				})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return out, nil
+}
+
+// callees lists the static callees of one function body: direct calls,
+// method calls, and interface calls widened to every same-name concrete
+// method among the loaded packages.
+func (l *loader) callees(fb funcBody, byName map[string][]*types.Func) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := fb.p.info.Uses[fun].(*types.Func); ok {
+				out = append(out, fn)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := fb.p.info.Selections[fun]
+			if !ok {
+				// Package-qualified call: pkg.F.
+				if fn, ok := fb.p.info.Uses[fun.Sel].(*types.Func); ok {
+					out = append(out, fn)
+				}
+				return true
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			if types.IsInterface(sel.Recv()) {
+				// Interface dispatch: widen to every concrete method with
+				// this name. Over-approximates, which is the sound
+				// direction for a reachability lint.
+				out = append(out, byName[fn.Name()]...)
+			} else {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,71 @@
+// Package fingerprint is the golint test fixture: a miniature of the
+// shapes the map-iteration pass must handle. Lines that must be flagged
+// carry a `// want` comment with a fragment of the expected message.
+package fingerprint
+
+// Model mirrors the real gcmodel.Model shape: a map-typed config field
+// that must never be iterated while fingerprinting.
+type Model struct {
+	init  map[int][]int
+	order []int
+}
+
+// AppendFingerprint is the root of the checked call graph.
+func (m *Model) AppendFingerprint(b []byte) []byte {
+	b = m.header(b)
+	var h hasher = m
+	return h.hash(b)
+}
+
+// header iterates the map directly: flagged.
+func (m *Model) header(b []byte) []byte {
+	for k := range m.init { // want "iteration over map"
+		b = append(b, byte(k))
+	}
+	return b
+}
+
+// hasher exercises interface-call widening: AppendFingerprint only ever
+// calls hash through this interface.
+type hasher interface {
+	hash(b []byte) []byte
+}
+
+// hash reaches a map range through a helper function and a closure:
+// both flagged.
+func (m *Model) hash(b []byte) []byte {
+	b = tail(b, m.init)
+	f := func() {
+		for k, vs := range m.init { // want "iteration over map"
+			_ = k
+			b = append(b, byte(len(vs)))
+		}
+	}
+	f()
+	return b
+}
+
+// tail is a plain function callee.
+func tail(b []byte, init map[int][]int) []byte {
+	for k := range init { // want "iteration over map"
+		b = append(b, byte(k))
+	}
+	return b
+}
+
+// Rebuild is NOT reachable from AppendFingerprint: its map iteration is
+// legitimate (order-insensitive) and must not be flagged.
+func (m *Model) Rebuild() {
+	m.order = m.order[:0]
+	for k := range m.init {
+		m.order = append(m.order, k)
+	}
+}
+
+// ordered iteration over a slice: never flagged even when reachable.
+func (m *Model) Ordered(b []byte) []byte {
+	for _, k := range m.order {
+		b = append(b, byte(k))
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"repro/internal/gcmodel"
+)
+
+// This file re-derives the partial-order-reduction safe classification
+// from the declared effect table, independently of the handwritten
+// gcmodel.Model.SafeRequest. The derivation argues from three sources:
+//
+//   - the KindEffect table: which guards a kind has and where its
+//     effects land (own buffer, shared memory, mailboxes, heap domain);
+//   - the extracted writers-per-class sets: which processes have a
+//     declared write site for each location class;
+//   - the configuration: SCMemory and MaxBuf.
+//
+// A request is derived safe when the effect table shows it is enabled,
+// cannot be disabled by other processes, and commutes with every
+// enabled transition of every other process:
+//
+//   - Buffered stores commute (only the requester and the system's
+//     oldest-entry dequeue touch the buffer, at opposite ends) unless
+//     the class is ObservedBuffered — the verification itself reads
+//     buffered control writes — or the bounded buffer is full (then the
+//     request is disabled, and other processes can re-enable it).
+//   - Loads commute when the value they return is invariant under
+//     every other process's transitions: either the requester holds the
+//     TSO lock (all other memory traffic is disabled), or the class is
+//     a single-address class whose only declared writer is the
+//     requester. The sole-writer argument is per-address; for the
+//     multi-address classes (mark flags, fields) the class-granular
+//     effect table cannot identify the address, much less its
+//     allocation status, so the derivation conservatively declines.
+//   - A fence with an empty buffer is a pure control advance.
+//   - An unlock by the owner with an empty buffer only ever enables
+//     others' transitions.
+//   - Everything touching the handshake mailboxes or the heap domain
+//     is a protocol interaction with other processes: never safe.
+//
+// The Validator diffs this derivation against the handwritten
+// classification at every reachable state of a validated run; see
+// Validator.CheckPOR.
+
+// DeriveSafe classifies request r in system state s, mirroring the
+// signature of gcmodel.Model.SafeRequest.
+func (fp *Footprint) DeriveSafe(s *gcmodel.SysLocal, r gcmodel.Req) bool {
+	if int(r.Kind) < 0 || int(r.Kind) >= gcmodel.NumReqKinds {
+		return false
+	}
+	e := fp.Kinds[r.Kind]
+	p := r.P
+	if e.HSRead || e.HSWrite || e.HeapDomRead || e.HeapDomWrite || e.AcquiresLock {
+		return false
+	}
+	if e.FlushGuard && len(s.Bufs[p]) != 0 {
+		return false // disabled until the system drains the buffer
+	}
+	if e.ReleasesLock {
+		return s.Lock == p
+	}
+	if e.Writes != 0 {
+		if !e.Buffered || fp.Cfg.SCMemory {
+			return false // direct memory effect: visible
+		}
+		if ClassOf(r.Loc.Kind)&ObservedBuffered != 0 {
+			return false // buffered write the verification observes
+		}
+		return fp.Cfg.MaxBuf == 0 || len(s.Bufs[p]) < fp.Cfg.MaxBuf
+	}
+	if e.Reads != 0 {
+		if e.LockGuard && !(s.Lock == -1 || s.Lock == p) {
+			return false // disabled while another process holds the lock
+		}
+		if s.Lock == p {
+			return true // lock-shielded: memory is frozen for others
+		}
+		cls := ClassOf(r.Loc.Kind)
+		return cls.SingleAddress() && fp.WritersOf(cls) == pidBit(p)
+	}
+	return e.FlushGuard // a pure fence (empty buffer established above)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package analysis_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full validated exploration multiplies its wall-clock by the
+// detector's slowdown without exercising concurrency the capped run
+// doesn't already cover, so it skips itself under -race.
+const raceEnabled = true

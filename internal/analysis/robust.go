@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// This file implements TSO-robustness analysis for litmus thread
+// programs in the style of Shasha and Snir's critical cycles, as
+// specialized to TSO (Bouajjani, Meyer et al.): the only relaxation TSO
+// permits over SC is reordering a store past a later load of a
+// *different* address with no intervening fence or locked instruction
+// (store buffering + store forwarding). A program is TSO-robust — every
+// TSO-reachable outcome is SC-reachable — iff no such relaxable
+// store→load program-order pair lies on a cycle of program order and
+// conflict edges. Fencing exactly the critical pairs restores SC.
+
+// TSOPair is a program-order store→load pair of one thread that TSO can
+// execute out of order (different addresses, no fence or locked
+// instruction between them). Store and Load are instruction indices.
+type TSOPair struct {
+	Thread      int
+	Store, Load int
+}
+
+func (p TSOPair) String() string {
+	return fmt.Sprintf("thread %d: St@%d → Ld@%d", p.Thread, p.Store, p.Load)
+}
+
+// TSOReport is the robustness verdict for a litmus program.
+type TSOReport struct {
+	// Robust: no relaxed pair lies on a critical cycle, so the program's
+	// TSO behaviors coincide with SC.
+	Robust bool
+	// Critical lists the relaxed pairs on critical cycles — placing an
+	// MFence inside each pair restores SC.
+	Critical []TSOPair
+	// Relaxed lists every relaxable store→load pair, critical or not.
+	Relaxed []TSOPair
+}
+
+// access is one memory access instruction viewed as a graph node.
+type access struct {
+	thread, idx int
+	reads       bool
+	writes      bool
+	addr        tso.Addr
+	// locked instructions and fences break relaxation windows.
+	fence bool
+}
+
+// AnalyzeTSOProgram computes the TSO-robustness report of a litmus
+// program without exploring it.
+func AnalyzeTSOProgram(p tso.Program) TSOReport {
+	// Gather per-thread access lists. MFence contributes no node, only a
+	// window break; CAS/XchgAdd are read-write accesses that also fence.
+	var nodes []access
+	byThread := make([][]int, len(p.Threads))
+	fenceAt := make([][]bool, len(p.Threads)) // per instruction index: breaks windows
+	for t, instrs := range p.Threads {
+		fenceAt[t] = make([]bool, len(instrs))
+		for i, in := range instrs {
+			switch in := in.(type) {
+			case tso.Ld:
+				byThread[t] = append(byThread[t], len(nodes))
+				nodes = append(nodes, access{thread: t, idx: i, reads: true, addr: in.Addr})
+			case tso.St:
+				byThread[t] = append(byThread[t], len(nodes))
+				nodes = append(nodes, access{thread: t, idx: i, writes: true, addr: in.Addr})
+			case tso.MFence:
+				fenceAt[t][i] = true
+			case tso.CAS:
+				fenceAt[t][i] = true
+				byThread[t] = append(byThread[t], len(nodes))
+				nodes = append(nodes, access{thread: t, idx: i, reads: true, writes: true, addr: in.Addr, fence: true})
+			case tso.XchgAdd:
+				fenceAt[t][i] = true
+				byThread[t] = append(byThread[t], len(nodes))
+				nodes = append(nodes, access{thread: t, idx: i, reads: true, writes: true, addr: in.Addr, fence: true})
+			}
+		}
+	}
+
+	// relaxedPair: node u (a plain store) directly precedes node v (a
+	// plain load of a different address) in program order with no fence
+	// or locked instruction strictly between them.
+	relaxedPair := func(u, v access) bool {
+		if u.thread != v.thread || u.idx >= v.idx {
+			return false
+		}
+		if !u.writes || u.fence || !v.reads || v.writes {
+			return false
+		}
+		if u.addr == v.addr {
+			return false // store forwarding: same-address pairs stay ordered
+		}
+		for i := u.idx + 1; i < v.idx; i++ {
+			if fenceAt[u.thread][i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Build the happens-before skeleton: program-order edges between
+	// consecutive-in-po accesses of each thread (transitively closed by
+	// reachability below) and conflict edges in both directions between
+	// accesses of different threads to the same address where at least
+	// one writes.
+	succ := make([][]int, len(nodes))
+	addEdge := func(u, v int) { succ[u] = append(succ[u], v) }
+	for _, order := range byThread {
+		for i := 0; i+1 < len(order); i++ {
+			addEdge(order[i], order[i+1])
+		}
+	}
+	for u := range nodes {
+		for v := range nodes {
+			if nodes[u].thread == nodes[v].thread || nodes[u].addr != nodes[v].addr {
+				continue
+			}
+			if nodes[u].writes || nodes[v].writes {
+				addEdge(u, v)
+			}
+		}
+	}
+
+	reach := func(from, to int) bool {
+		if from == to {
+			return true
+		}
+		visited := make([]bool, len(nodes))
+		stack := []int{from}
+		visited[from] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range succ[n] {
+				if v == to {
+					return true
+				}
+				if !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		return false
+	}
+
+	rep := TSOReport{Robust: true}
+	for ui, u := range nodes {
+		for vi, v := range nodes {
+			if !relaxedPair(u, v) {
+				continue
+			}
+			pair := TSOPair{Thread: u.thread, Store: u.idx, Load: v.idx}
+			rep.Relaxed = append(rep.Relaxed, pair)
+			// The pair is critical iff the load can happen-before the
+			// store through the rest of the graph: then delaying the
+			// store's commit past the load is observable.
+			if reach(vi, ui) {
+				rep.Robust = false
+				rep.Critical = append(rep.Critical, pair)
+			}
+		}
+	}
+	return rep
+}

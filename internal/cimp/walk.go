@@ -1,0 +1,39 @@
+package cimp
+
+// Walk visits every command node reachable from root exactly once, in a
+// deterministic depth-first order (the same order Index assigns IDs in).
+// It is the traversal primitive behind Index and behind the static
+// analyses of package analysis, which need to inspect program trees —
+// action commands, conditionals, loops — without re-implementing the
+// shape of every control construct.
+func Walk[S any](root Com[S], visit func(Com[S])) {
+	seen := make(map[Com[S]]struct{})
+	var rec func(Com[S])
+	rec = func(c Com[S]) {
+		if c == nil {
+			return
+		}
+		if _, ok := seen[c]; ok {
+			return
+		}
+		seen[c] = struct{}{}
+		visit(c)
+		switch n := c.(type) {
+		case *Seq[S]:
+			rec(n.A)
+			rec(n.B)
+		case *Cond[S]:
+			rec(n.Then)
+			rec(n.Else)
+		case *While[S]:
+			rec(n.Body)
+		case *Loop[S]:
+			rec(n.Body)
+		case *Choose[S]:
+			for _, a := range n.Alts {
+				rec(a)
+			}
+		}
+	}
+	rec(root)
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/explore"
 	"repro/internal/gcmodel"
 	"repro/internal/gcrt"
@@ -75,6 +76,14 @@ type VerifyOptions struct {
 	// LivenessProps selects a subset of the progress properties by name
 	// (nil = all; see liveness.All).
 	LivenessProps []string
+	// ValidateEffects cross-checks the static analysis layer against the
+	// exploration (see package analysis): every taken transition is
+	// checked against the declared effect footprint, and the derived POR
+	// safe classification is diffed against the handwritten one at every
+	// visited state. Any disagreement is reported as a violation
+	// ("event-check" / "state-check"). VerifyResult.Effects carries the
+	// validation counters.
+	ValidateEffects bool
 }
 
 // VerifyResult reports a verification run.
@@ -86,6 +95,10 @@ type VerifyResult struct {
 	// Liveness is the fair-cycle checker's outcome, nil unless
 	// VerifyOptions.Liveness was set (and the safety pass was clean).
 	Liveness *liveness.Result
+	// Effects is the effect validator used by the run, nil unless
+	// VerifyOptions.ValidateEffects was set. Its Stats method reports
+	// how many transitions and states were validated.
+	Effects *analysis.Validator
 }
 
 // Holds reports whether every checked invariant held on every explored
@@ -112,7 +125,7 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 	if opt.HeadlineOnly {
 		checks = invariant.Safety()
 	}
-	res := explore.Run(m, checks, explore.Options{
+	eopt := explore.Options{
 		MaxStates: opt.MaxStates,
 		MaxDepth:  opt.MaxDepth,
 		Trace:     opt.Trace,
@@ -122,8 +135,18 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 		HashOnly:  !opt.Audit,
 		Reduce:    opt.Reduce,
 		Symmetry:  opt.Symmetry,
-	})
-	vr := VerifyResult{Result: res, Model: m}
+	}
+	var val *analysis.Validator
+	if opt.ValidateEffects {
+		val, err = analysis.NewValidator(m)
+		if err != nil {
+			return VerifyResult{}, fmt.Errorf("core: %w", err)
+		}
+		eopt.EventCheck = val.CheckEvent
+		eopt.StateCheck = val.CheckPOR
+	}
+	res := explore.Run(m, checks, eopt)
+	vr := VerifyResult{Result: res, Model: m, Effects: val}
 	if opt.Liveness && res.Violation == nil {
 		var props []liveness.Property
 		if opt.LivenessProps != nil {

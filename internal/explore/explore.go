@@ -115,6 +115,21 @@ type Options struct {
 	// carries concrete states, so traces remain concrete runs. No-op
 	// for single-mutator models.
 	Symmetry bool
+	// EventCheck, if non-nil, is invoked for every transition the search
+	// takes (including transitions into already-visited states) with the
+	// source state, the successor, and the event. A non-nil error is
+	// reported as an "event-check" violation at the successor, with the
+	// usual minimal-depth/minimal-hash tie-breaking. Package core wires
+	// analysis.Validator.CheckEvent here to validate the declared effect
+	// footprint against the run.
+	EventCheck func(parent, next cimp.System[*gcmodel.Local], ev cimp.Event) error
+	// StateCheck, if non-nil, is invoked once per newly visited state
+	// after the invariant battery. A non-nil error is reported as a
+	// "state-check" violation. Package core wires
+	// analysis.Validator.CheckPOR here to diff the derived POR safe
+	// classification against the handwritten one on every reachable
+	// state.
+	StateCheck func(st cimp.System[*gcmodel.Local]) error
 }
 
 // Step is one transition of a counterexample trace.
@@ -522,6 +537,12 @@ func (e *explorer) expandState(cur qent, nd int, amp gcmodel.Ample, next *[]qent
 		*transitions++
 		b = e.fp(b[:0], ns)
 		h := gcmodel.Hash64(b)
+		if e.opt.EventCheck != nil {
+			if err := e.opt.EventCheck(cur.state, ns, ev); err != nil {
+				e.offerViolation(&Violation{Invariant: "event-check", Err: err, Depth: nd, State: ns}, h)
+				return
+			}
+		}
 		var r rec
 		if e.opt.Trace {
 			r = rec{parent: cur.hash, eidx: int32(eidx)}
@@ -548,14 +569,18 @@ func (e *explorer) expandState(cur qent, nd int, amp gcmodel.Ample, next *[]qent
 
 // check evaluates the invariant battery at st.
 func (e *explorer) check(st cimp.System[*gcmodel.Local], depth int) *Violation {
-	if len(e.checks) == 0 {
-		return nil
+	if len(e.checks) > 0 {
+		g := gcmodel.Global{Model: e.m, State: st}
+		v := invariant.NewView(g)
+		for _, c := range e.checks {
+			if err := c.Pred(v); err != nil {
+				return &Violation{Invariant: c.Name, Err: err, Depth: depth, State: st}
+			}
+		}
 	}
-	g := gcmodel.Global{Model: e.m, State: st}
-	v := invariant.NewView(g)
-	for _, c := range e.checks {
-		if err := c.Pred(v); err != nil {
-			return &Violation{Invariant: c.Name, Err: err, Depth: depth, State: st}
+	if e.opt.StateCheck != nil {
+		if err := e.opt.StateCheck(st); err != nil {
+			return &Violation{Invariant: "state-check", Err: err, Depth: depth, State: st}
 		}
 	}
 	return nil

@@ -20,10 +20,14 @@ import (
 // arbitrary order, but the order of signaling is immaterial because
 // mutators accept asynchronously (the handshakes remain ragged).
 func (c *Config) hsRound(pfx string, tag RoundTag, ty HSType) cimp.Com[*Local] {
-	return seqs(
+	steps := []cimp.Com[*Local]{
 		req(pfx+"_start",
 			func(*Local) Req { return Req{Kind: RHsStart, HS: ty, Tag: tag} }, nil),
-		mfence(pfx+"_mfence_init"),
+	}
+	if !c.NoHSFence {
+		steps = append(steps, mfence(pfx+"_mfence_init"))
+	}
+	steps = append(steps,
 		det(pfx+"_sig_first", func(l *Local) { l.GC.MutIdx = 0 }),
 		&cimp.While[*Local]{L: pfx + "_sig_loop",
 			C: func(l *Local) bool { return l.GC.MutIdx < c.NMutators },
@@ -35,8 +39,11 @@ func (c *Config) hsRound(pfx string, tag RoundTag, ty HSType) cimp.Com[*Local] {
 		req(pfx+"_wait_all",
 			func(*Local) Req { return Req{Kind: RHsWaitAll} },
 			func(l *Local, r Resp) { l.GC.W = l.GC.W.Union(r.W) }),
-		mfence(pfx+"_mfence_done"),
 	)
+	if !c.NoHSFence {
+		steps = append(steps, mfence(pfx+"_mfence_done"))
+	}
+	return seqs(steps...)
 }
 
 // GCProgram builds the collector process.
@@ -62,7 +69,7 @@ func (c *Config) GCProgram() cimp.Com[*Local] {
 									return Loc{Kind: LField, R: l.GC.Src, F: heap.Field(l.GC.FldIdx)}
 								},
 								func(l *Local, v Val) { l.GC.TmpRef = v.Ref() }),
-							markCom("gc_mark", false,
+							markCom("gc_mark", false, c.UnlockedMark,
 								func(l *Local) heap.Ref { return l.GC.TmpRef }),
 							det("gc_fld_next", func(l *Local) { l.GC.FldIdx++ }),
 						)},

@@ -34,8 +34,11 @@ import (
 // mark from the caller's registers; a NULL target skips the operation.
 // del records (as ghost state) that this mark is a deletion barrier,
 // whose target the safety argument treats as a root for the duration of
-// the operation (§3.2).
-func markCom(pfx string, del bool, target func(*Local) heap.Ref) cimp.Com[*Local] {
+// the operation (§3.2). unlocked is the Config.UnlockedMark ablation:
+// the re-load / compare / store sequence runs without the TSO lock, so
+// it is no longer atomic and the mark store drains at the system's
+// leisure instead of before the locked instruction completes.
+func markCom(pfx string, del, unlocked bool, target func(*Local) heap.Ref) cimp.Com[*Local] {
 	expected := func(l *Local) bool { return !l.mFM() }
 
 	casWin := writeVal(pfx+"_cas_store",
@@ -46,8 +49,7 @@ func markCom(pfx string, del bool, target func(*Local) heap.Ref) cimp.Com[*Local
 			l.setGHG(l.mRef()) // ghost_honorary_grey ← ref
 		})
 
-	cas := seqs(
-		req(pfx+"_lock", func(*Local) Req { return Req{Kind: RLock} }, nil),
+	casSteps := []cimp.Com[*Local]{
 		readTo(pfx+"_cas_load",
 			func(l *Local) Loc { return Loc{Kind: LMark, R: l.mRef()} },
 			func(l *Local, v Val) { l.setMFlag(v.Bool()) }),
@@ -55,8 +57,14 @@ func markCom(pfx string, del bool, target func(*Local) heap.Ref) cimp.Com[*Local
 			func(l *Local) bool { return l.mFlag() == expected(l) },
 			casWin,
 			det(pfx+"_cas_fail", func(l *Local) { l.setWinner(false) })),
-		req(pfx+"_unlock", func(*Local) Req { return Req{Kind: RUnlock} }, nil),
-	)
+	}
+	if !unlocked {
+		casSteps = append([]cimp.Com[*Local]{
+			req(pfx+"_lock", func(*Local) Req { return Req{Kind: RLock} }, nil)},
+			append(casSteps,
+				req(pfx+"_unlock", func(*Local) Req { return Req{Kind: RUnlock} }, nil))...)
+	}
+	cas := seqs(casSteps...)
 
 	body := seqs(
 		readTo(pfx+"_load_fM",

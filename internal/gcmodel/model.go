@@ -63,10 +63,22 @@ type Config struct {
 	// enter the buffers but are never committed to memory.
 	MuteHandshake bool
 	NoDequeue     bool
-	ElideHS1      bool // skip handshake round 1 (idle noop)
-	ElideHS2      bool // skip handshake round 2 (after f_M flip)
-	ElideHS3      bool // skip handshake round 3 (after phase ← Init)
-	ElideHS4      bool // skip handshake round 4 (after phase ← Mark)
+	// UnlockedMark drops the TSO lock around the mark operation's CAS
+	// (Figure 5): the flag is re-read, compared and stored without the
+	// locked-instruction prefix, so two processes can both win and the
+	// buffered mark store can be overtaken. The static mark-cas rule of
+	// package analysis flags this variant without exploration.
+	UnlockedMark bool
+	// NoHSFence drops the four handshake memory fences (the collector's
+	// mfence_init/mfence_done around signaling, Figure 4, and the
+	// mutators' mfence_accept/mfence_finish around handshake work): a
+	// handshake can then complete while control/barrier stores are
+	// still buffered. The static handshake-fence rule flags it.
+	NoHSFence bool
+	ElideHS1  bool // skip handshake round 1 (idle noop)
+	ElideHS2  bool // skip handshake round 2 (after f_M flip)
+	ElideHS3  bool // skip handshake round 3 (after phase ← Init)
+	ElideHS4  bool // skip handshake round 4 (after phase ← Mark)
 
 	// State-space controls.
 	//

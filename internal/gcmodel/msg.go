@@ -44,6 +44,12 @@ const (
 	// RHsWaitAll completes only when every pending bit is clear, and
 	// returns (and clears) the system work-list.
 	RHsWaitAll
+
+	// NumReqKinds is the number of request kinds. The exhaustiveness
+	// test in package analysis checks that every kind below it has a
+	// String case and a declared-effects entry, so a new kind added
+	// without updating either fails fast.
+	NumReqKinds = int(RHsWaitAll) + 1
 )
 
 func (k ReqKind) String() string {

@@ -107,10 +107,10 @@ func (c *Config) MutProgram(m int) cimp.Com[*Local] {
 	}
 	if !c.NoDeletionBarrier {
 		storeSteps = append(storeSteps,
-			markCom(pfx+"_delbar", true, func(l *Local) heap.Ref { return l.Mut.TmpRef }))
+			markCom(pfx+"_delbar", true, c.UnlockedMark, func(l *Local) heap.Ref { return l.Mut.TmpRef }))
 	}
 	if !c.NoInsertionBarrier {
-		ins := markCom(pfx+"_insbar", false, func(l *Local) heap.Ref { return l.Mut.SDst })
+		ins := markCom(pfx+"_insbar", false, c.UnlockedMark, func(l *Local) heap.Ref { return l.Mut.SDst })
 		if c.InsertionBarrierOnlyBeforeRootsDone {
 			// §4 observation: one extra thread-local branch removes the
 			// insertion barrier across the mark loop.
@@ -168,9 +168,58 @@ func (c *Config) MutProgram(m int) cimp.Com[*Local] {
 					l.Mut.TmpRef = l.Mut.PendRoots.Any()
 					l.Mut.PendRoots = l.Mut.PendRoots.Remove(l.Mut.TmpRef)
 				}),
-				markCom(pfx+"_rootmark", false, func(l *Local) heap.Ref { return l.Mut.TmpRef }),
+				markCom(pfx+"_rootmark", false, c.UnlockedMark, func(l *Local) heap.Ref { return l.Mut.TmpRef }),
 			)},
 	)
+	hsDone := req(pfx+"_hs_done",
+		func(l *Local) Req {
+			r := Req{Kind: RHsDone}
+			if l.Mut.HSTy != HSNoop {
+				r.WM = l.Mut.WM
+			}
+			return r
+		},
+		func(l *Local, _ Resp) {
+			if l.Mut.HSTy != HSNoop {
+				l.Mut.WM = 0
+			}
+			l.Mut.HP = hpAfter(l.Mut.HSTag, l.Mut.HP)
+			switch l.Mut.HSTag {
+			case TagIdle, TagIdleInit, TagInitMark, TagMark:
+				// Completing any initialization round starts a
+				// new cycle from this mutator's perspective:
+				// clear the snapshot ghost and refill the
+				// operation budget. Refilling at every
+				// initialization round (rather than only the
+				// first) keeps the ghost state correct when
+				// rounds are elided (E12) — the budget then
+				// bounds operations per round rather than per
+				// cycle, which is still finite.
+				l.Mut.RootsDone = false
+				l.Mut.OpsLeft = c.OpBudget
+			case TagRoots:
+				l.Mut.RootsDone = true
+			}
+			l.Mut.HSP = false
+			l.Mut.HSTy, l.Mut.HSTag = HSNoop, TagNone
+			l.Mut.TmpRef = heap.NilRef // root-marking iteration residue
+		})
+
+	// The accepted-handshake body; Config.NoHSFence (an ablation the
+	// static handshake-fence rule exists to flag) drops both fences.
+	var accept []cimp.Com[*Local]
+	if !c.NoHSFence {
+		accept = append(accept, mfence(pfx+"_hs_mfence_accept"))
+	}
+	accept = append(accept,
+		cimp.If1(pfx+"_hs_is_roots",
+			func(l *Local) bool { return l.Mut.HSTy == HSGetRoots },
+			rootsWork))
+	if !c.NoHSFence {
+		accept = append(accept, mfence(pfx+"_hs_mfence_finish"))
+	}
+	accept = append(accept, hsDone)
+
 	handshake := seqs(
 		req(pfx+"_hs_poll",
 			func(*Local) Req { return Req{Kind: RHsPoll} },
@@ -185,46 +234,7 @@ func (c *Config) MutProgram(m int) cimp.Com[*Local] {
 			}),
 		cimp.If1(pfx+"_hs_pending",
 			func(l *Local) bool { return l.Mut.HSP },
-			seqs(
-				mfence(pfx+"_hs_mfence_accept"),
-				cimp.If1(pfx+"_hs_is_roots",
-					func(l *Local) bool { return l.Mut.HSTy == HSGetRoots },
-					rootsWork),
-				mfence(pfx+"_hs_mfence_finish"),
-				req(pfx+"_hs_done",
-					func(l *Local) Req {
-						r := Req{Kind: RHsDone}
-						if l.Mut.HSTy != HSNoop {
-							r.WM = l.Mut.WM
-						}
-						return r
-					},
-					func(l *Local, _ Resp) {
-						if l.Mut.HSTy != HSNoop {
-							l.Mut.WM = 0
-						}
-						l.Mut.HP = hpAfter(l.Mut.HSTag, l.Mut.HP)
-						switch l.Mut.HSTag {
-						case TagIdle, TagIdleInit, TagInitMark, TagMark:
-							// Completing any initialization round starts a
-							// new cycle from this mutator's perspective:
-							// clear the snapshot ghost and refill the
-							// operation budget. Refilling at every
-							// initialization round (rather than only the
-							// first) keeps the ghost state correct when
-							// rounds are elided (E12) — the budget then
-							// bounds operations per round rather than per
-							// cycle, which is still finite.
-							l.Mut.RootsDone = false
-							l.Mut.OpsLeft = c.OpBudget
-						case TagRoots:
-							l.Mut.RootsDone = true
-						}
-						l.Mut.HSP = false
-						l.Mut.HSTy, l.Mut.HSTag = HSNoop, TagNone
-						l.Mut.TmpRef = heap.NilRef // root-marking iteration residue
-					}),
-			)),
+			seqs(accept...)),
 	)
 
 	var alts []cimp.Com[*Local]

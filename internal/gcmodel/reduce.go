@@ -114,6 +114,13 @@ func (m *Model) AmpleChoice(st cimp.System[*Local]) Ample {
 	return Ample{}
 }
 
+// SafeRequest exposes the handwritten safe classification for
+// cross-checking: package analysis re-derives the same classification
+// from the declared-effects table and diffs the two at every reachable
+// state (the por-safe-class rule), so a drift between this function and
+// the documented commutation argument is caught dynamically.
+func (m *Model) SafeRequest(s *SysLocal, r Req) bool { return m.safeRequest(s, r) }
+
 // safeRequest classifies a request as safe (invisible, enabled, and
 // undisablable) in the system state s. See the file comment for the
 // soundness argument per kind.
