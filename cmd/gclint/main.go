@@ -19,6 +19,19 @@
 //     cross-check (expecting static soundness: every program whose TSO
 //     outcomes exceed SC is flagged). Exit status 1 on any surprise.
 //
+//   - -gosrc: lint the checker's own Go source instead of the model.
+//     Two passes over the repository: the fingerprint call graph of
+//     internal/gcmodel must contain no map iteration (order is
+//     randomized, so one would make verdicts nondeterministic), and
+//     every goroutine spawned in internal/explore and internal/liveness
+//     must install a deferred recover guard (an unguarded worker panic
+//     kills the whole verification run, defeating the durability
+//     layer). Exit status 1 on any finding.
+//
+// SIGINT/SIGTERM interrupt -all and -litmus gracefully between items:
+// the partial report prints, marked INCOMPLETE, and the process exits
+// 130 — an interrupted gate is never mistaken for a clean one.
+//
 // Usage:
 //
 //	gclint [flags]
@@ -30,16 +43,22 @@
 //	gclint -preset tiny -relaxed           # also show relaxed pairs + fence coverage
 //	gclint -litmus -dyn                    # static verdicts vs dynamic ground truth
 //	gclint -all                            # full static gate (CI entry point)
+//	gclint -gosrc                          # lint the checker's own source
 //	gclint -preset tiny -json              # machine-readable report
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/golint"
 	"repro/internal/core"
 	"repro/internal/litmus"
 	"repro/internal/tso"
@@ -113,15 +132,28 @@ func main() {
 		litmusMode = flag.Bool("litmus", false, "analyze the litmus catalogue instead of a model configuration")
 		dyn        = flag.Bool("dyn", false, "litmus: cross-check each static verdict against TSO/SC exploration")
 		all        = flag.Bool("all", false, "CI gate: lint every preset and the litmus catalogue with -dyn")
+		gosrc      = flag.Bool("gosrc", false, "lint the checker's own Go source: fingerprint map iteration + goroutine recover guards")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 	)
 	flag.Parse()
 
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "gclint: caught %v — stopping after the current item (repeat to kill)\n", sig)
+		cancel()
+		signal.Stop(sigc)
+	}()
+
 	switch {
+	case *gosrc:
+		os.Exit(runGoSrc())
 	case *all:
-		os.Exit(runAll(*jsonOut))
+		os.Exit(runAll(ctx, *jsonOut))
 	case *litmusMode:
-		os.Exit(runLitmus(*dyn, *jsonOut))
+		os.Exit(runLitmus(ctx, *dyn, *jsonOut))
 	}
 
 	cfg, ok := presets()[*preset]
@@ -192,13 +224,29 @@ func emitModelJSON(preset string, rep *analysis.ModelReport, relaxed bool) {
 	emit(v)
 }
 
+// interrupted reports whether ctx has been cancelled (by the signal
+// handler).
+func interrupted(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // runLitmus analyzes the catalogue; with dyn it cross-checks against
 // exploration. Returns the exit status: 1 iff a static verdict is
-// unsound (a dynamically non-robust program not flagged).
-func runLitmus(dyn, jsonOut bool) int {
+// unsound (a dynamically non-robust program not flagged), 130 if
+// interrupted before the catalogue was exhausted.
+func runLitmus(ctx context.Context, dyn, jsonOut bool) int {
 	status := 0
 	var out []jsonLitmus
 	for _, tc := range litmus.All() {
+		if interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "gclint: INCOMPLETE (interrupted): litmus catalogue not exhausted")
+			return 130
+		}
 		rep := analysis.AnalyzeTSOProgram(tc.Prog)
 		j := jsonLitmus{Name: tc.Name, Robust: rep.Robust}
 		for _, p := range rep.Critical {
@@ -232,10 +280,15 @@ func runLitmus(dyn, jsonOut bool) int {
 }
 
 // runAll is the CI gate: every shipped preset must lint clean and every
-// litmus verdict must be dynamically sound.
-func runAll(jsonOut bool) int {
+// litmus verdict must be dynamically sound. An interruption stops
+// between items and exits 130 — a partial gate never reads as clean.
+func runAll(ctx context.Context, jsonOut bool) int {
 	status := 0
 	for name, cfg := range presets() {
+		if interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "gclint: INCOMPLETE (interrupted): preset sweep not exhausted")
+			return 130
+		}
 		rep, err := analysis.LintModel(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gclint: %s: %v\n", name, err)
@@ -248,8 +301,51 @@ func runAll(jsonOut bool) int {
 			printModel(name, rep, false)
 		}
 	}
-	if s := runLitmus(true, jsonOut); s != 0 {
+	if s := runLitmus(ctx, true, jsonOut); s != 0 {
 		status = s
+	}
+	return status
+}
+
+// runGoSrc lints the checker's own Go source: the fingerprint call
+// graph must be map-iteration free and every verification-worker spawn
+// must carry a recover guard. Directories are resolved against the
+// enclosing module root, so the gate works from any working directory
+// inside the repository.
+func runGoSrc() int {
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
+		return 2
+	}
+	status := 0
+	report := func(pass, dir string, diags []golint.Diagnostic, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: %s: %v\n", pass, err)
+			status = 2
+			return
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", pass, d)
+			if status == 0 {
+				status = 1
+			}
+		}
+		if len(diags) == 0 {
+			fmt.Printf("%s: %s: clean\n", pass, dir)
+		}
+	}
+
+	fpDir := filepath.Join(root, "internal", "gcmodel")
+	diags, err := golint.CheckDir(fpDir, []string{"AppendFingerprint", "AppendCanonicalFingerprint"})
+	report("fingerprint-map-order", "internal/gcmodel", diags, err)
+
+	for _, rel := range []string{
+		filepath.Join("internal", "explore"),
+		filepath.Join("internal", "liveness"),
+	} {
+		diags, err := golint.CheckGoRecover(filepath.Join(root, rel))
+		report("goroutine-recover-guard", rel, diags, err)
 	}
 	return status
 }

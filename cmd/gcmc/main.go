@@ -20,17 +20,35 @@
 //	gcmc -preset tiny -json               # machine-readable verdict
 //	gcmc -preset tiny -lint -no-hs-fence  # static preflight names the broken rule
 //	gcmc -preset tiny -validate-effects   # cross-check the static effect table
+//	gcmc -preset tiny -checkpoint run.ckpt  # snapshot the search periodically
+//	gcmc -preset tiny -resume run.ckpt    # continue an interrupted run
+//
+// # Run durability
+//
+// With -checkpoint the search state is snapshotted atomically every
+// -checkpoint-every BFS layers. SIGINT/SIGTERM interrupt gracefully:
+// the checker finishes its current layer, writes a final checkpoint,
+// prints the partial result marked INCOMPLETE, and exits 130; a second
+// signal kills immediately. -resume restarts from a checkpoint (the
+// options must match; worker count may differ) and reaches the same
+// verdict and counts as an uninterrupted run. -mem-budget caps the heap:
+// as usage climbs the run degrades in steps (emergency checkpoint, drop
+// audit fingerprints, clean incomplete stop) instead of being OOM-killed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/heap"
 )
 
@@ -44,6 +62,8 @@ type jsonVerdict struct {
 	Transitions int     `json:"transitions"`
 	Depth       int     `json:"depth"`
 	Complete    bool    `json:"complete"`
+	Stopped     string  `json:"stopped,omitempty"` // why the run ended early
+	Checkpoints int     `json:"checkpoints,omitempty"`
 	Deadlocks   int     `json:"deadlocks"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
 
@@ -98,9 +118,15 @@ func main() {
 		noDeq      = flag.Bool("no-dequeue", false, "liveness ablation: buffered stores are never committed (breaks buf-drain)")
 
 		maxStates = flag.Int("max-states", 0, "cap on distinct states (0 = none)")
+		maxDepth  = flag.Int("max-depth", 0, "cap on BFS depth (0 = none)")
 		headline  = flag.Bool("headline-only", false, "check only valid_refs_inv")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON verdict on stdout")
+
+		ckptPath  = flag.String("checkpoint", "", "snapshot the search state to this file at layer boundaries (atomic writes)")
+		ckptEvery = flag.Int("checkpoint-every", 16, "BFS layers between periodic checkpoints")
+		resume    = flag.String("resume", "", "resume the search from this checkpoint file (options must match; -workers may differ)")
+		memBudget = flag.Int("mem-budget", 0, "soft heap budget in MiB: degrade (checkpoint, drop audit, stop cleanly) as usage approaches it (0 = none)")
 
 		workers  = flag.Int("workers", 0, "checker worker goroutines per BFS layer (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "visited-set lock stripes (0 = checker default)")
@@ -171,8 +197,28 @@ func main() {
 		}
 	}
 
+	// Graceful interruption: the first SIGINT/SIGTERM cancels the run's
+	// context — the checker finishes its current layer, writes a final
+	// checkpoint when one is configured, and the partial result is
+	// reported INCOMPLETE with exit status 130. After the first signal
+	// the handler detaches, so a second signal kills immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\ngcmc: caught %v — finishing the current layer (repeat to kill)\n", s)
+		cancel()
+		signal.Stop(sigc)
+	}()
+
 	opt := core.VerifyOptions{
 		MaxStates:       *maxStates,
+		MaxDepth:        *maxDepth,
 		Trace:           true,
 		HeadlineOnly:    *headline,
 		Workers:         *workers,
@@ -182,14 +228,20 @@ func main() {
 		Symmetry:        *symmetry,
 		Liveness:        *live,
 		ValidateEffects: *validate,
+		Context:         ctx,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		MemBudget:       int64(*memBudget) << 20,
 	}
 	if *liveProps != "" {
 		opt.LivenessProps = strings.Split(*liveProps, ",")
 		opt.Liveness = true
 	}
 	if !*quiet {
-		opt.Progress = func(states, depth int) {
-			fmt.Fprintf(os.Stderr, "\r%10d states, depth %4d", states, depth)
+		opt.Progress = func(p core.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%10d states, %10d transitions, depth %4d, %8.1fs",
+				p.States, p.Transitions, p.Depth, p.Elapsed.Seconds())
 		}
 	}
 
@@ -201,11 +253,28 @@ func main() {
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
+	if res.Stopped == explore.StopPanic {
+		fmt.Fprintf(os.Stderr, "gcmc: internal error: %v\n", res.Err)
+		if pe, ok := res.Err.(*explore.PanicError); ok {
+			fmt.Fprintf(os.Stderr, "%s\n", pe.Stack)
+		}
+		os.Exit(2)
+	}
+	if res.Err != nil {
+		// A checkpoint write failed but the run went on: warn, don't die.
+		fmt.Fprintln(os.Stderr, "gcmc: warning:", res.Err)
+	}
+	if res.Checkpoints > 0 && *ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "gcmc: %d checkpoint(s) written to %s\n", res.Checkpoints, *ckptPath)
+	}
 
 	if *jsonOut {
 		emitJSON(*preset, res)
-		if !res.Holds() {
+		switch {
+		case res.Violation != nil || (res.Liveness != nil && !res.Liveness.Holds()):
 			os.Exit(1)
+		case wasInterrupted(res):
+			os.Exit(130)
 		}
 		return
 	}
@@ -222,6 +291,9 @@ func main() {
 	if res.States > 0 {
 		fmt.Printf("visited-set: %d bytes (%.1f B/state)\n",
 			res.VisitedBytes, float64(res.VisitedBytes)/float64(res.States))
+	}
+	if res.Degraded {
+		fmt.Fprintln(os.Stderr, "gcmc: note: memory watchdog dropped audit fingerprints mid-run; collision count is partial")
 	}
 	if *audit {
 		if res.HashCollisions > 0 {
@@ -254,42 +326,59 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if res.Complete {
+	if res.Holds() {
 		if res.Liveness != nil {
 			fmt.Println("VERIFIED: all invariants and progress properties hold on the full reachable state space")
 		} else {
 			fmt.Println("VERIFIED: all invariants hold on the full reachable state space")
 		}
-	} else {
-		fmt.Println("NO VIOLATION found within the explored bound")
+		return
 	}
+	// No violation, but the exploration did not cover the full space:
+	// the verdict is explicitly inconclusive, never "holds".
+	fmt.Printf("INCOMPLETE (%s): no violation found in the explored portion — not a verification\n", stopReason(res))
+	if wasInterrupted(res) {
+		os.Exit(130)
+	}
+}
+
+// stopReason names why the run is incomplete.
+func stopReason(res core.VerifyResult) string {
+	if res.Stopped != explore.StopNone {
+		return string(res.Stopped)
+	}
+	if res.Liveness != nil && res.Liveness.Stopped != explore.StopNone {
+		return "liveness " + string(res.Liveness.Stopped)
+	}
+	return "bounded"
+}
+
+// wasInterrupted reports whether either pass stopped on a signal.
+func wasInterrupted(res core.VerifyResult) bool {
+	return res.Stopped == explore.StopInterrupted ||
+		(res.Liveness != nil && res.Liveness.Stopped == explore.StopInterrupted)
 }
 
 // emitJSON prints the machine-readable verdict.
 func emitJSON(preset string, res core.VerifyResult) {
 	v := jsonVerdict{
 		Preset:      preset,
+		Verdict:     res.Status(),
 		States:      res.States,
 		Transitions: res.Transitions,
 		Depth:       res.Depth,
 		Complete:    res.Complete,
+		Stopped:     string(res.Stopped),
+		Checkpoints: res.Checkpoints,
 		Deadlocks:   res.Deadlocks,
 		ElapsedSec:  res.Elapsed.Seconds(),
 	}
-	switch {
-	case res.Violation != nil:
-		v.Verdict = "violation"
+	if res.Violation != nil {
 		v.Violation = &jsonViolation{
 			Invariant: res.Violation.Invariant,
 			Depth:     res.Violation.Depth,
 			TraceLen:  len(res.Violation.Trace),
 		}
-	case res.Liveness != nil && !res.Liveness.Holds():
-		v.Verdict = "liveness-violation"
-	case res.Complete:
-		v.Verdict = "verified"
-	default:
-		v.Verdict = "no-violation"
 	}
 	if lr := res.Liveness; lr != nil {
 		jl := &jsonLiveness{

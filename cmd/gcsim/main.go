@@ -2,15 +2,23 @@
 // the full invariant battery attached — depth and scale where gcmc gives
 // exhaustiveness.
 //
+// SIGINT/SIGTERM interrupt the run gracefully: the current walk stops at
+// the next step boundary, the per-seed and total summaries still print
+// (marked INCOMPLETE), and the process exits 130 — so a partial
+// overnight run still reports what it covered.
+//
 // Usage:
 //
 //	gcsim -steps 200000 -seeds 16 -preset alloc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 )
@@ -42,24 +50,42 @@ func main() {
 	// Random walks need no bounded-context reduction.
 	cfg.OpBudget = 0
 
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "gcsim: caught %v — stopping at the next step (repeat to kill)\n", sig)
+		cancel()
+		signal.Stop(sigc)
+	}()
+
 	// Run every requested walk even after a violation — the remaining
 	// seeds may expose distinct failures — then exit nonzero if any walk
 	// violated, so CI can gate on the exit status.
 	totalSteps, totalCycles, violations := 0, 0, 0
-	for i := 0; i < *seeds; i++ {
+	walks, interrupted := 0, false
+	for i := 0; i < *seeds && !interrupted; i++ {
 		seed := *first + int64(i)
 		res, err := core.Simulate(cfg, core.SimulateOptions{
-			Seed: seed, Steps: *steps, CheckEvery: *every,
+			Seed: seed, Steps: *steps, CheckEvery: *every, Context: ctx,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gcsim:", err)
 			os.Exit(2)
 		}
+		walks++
 		totalSteps += res.Steps
 		totalCycles += res.Cycles
+		interrupted = res.Interrupted
 		if res.Violation != nil {
 			violations++
 			fmt.Printf("seed %4d: VIOLATION %v\n", seed, res.Violation)
+			continue
+		}
+		if res.Interrupted {
+			fmt.Printf("seed %4d: interrupted after %d steps, %d collector cycles — no violation so far\n",
+				seed, res.Steps, res.Cycles)
 			continue
 		}
 		fmt.Printf("seed %4d: %d steps, %d collector cycles, all invariants held\n",
@@ -67,9 +93,14 @@ func main() {
 	}
 	if violations > 0 {
 		fmt.Printf("TOTAL: %d steps, %d cycles across %d walks — %d VIOLATED\n",
-			totalSteps, totalCycles, *seeds, violations)
+			totalSteps, totalCycles, walks, violations)
 		os.Exit(1)
 	}
+	if interrupted {
+		fmt.Printf("TOTAL: %d steps, %d cycles across %d walks — INCOMPLETE (interrupted): no violation found in the walked portion\n",
+			totalSteps, totalCycles, walks)
+		os.Exit(130)
+	}
 	fmt.Printf("TOTAL: %d steps, %d cycles across %d walks — no violations\n",
-		totalSteps, totalCycles, *seeds)
+		totalSteps, totalCycles, walks)
 }

@@ -34,8 +34,8 @@ func main() {
 	res, err := core.Verify(cfg, core.VerifyOptions{
 		Trace:   true,
 		Workers: workers,
-		Progress: func(states, depth int) {
-			fmt.Fprintf(os.Stderr, "\r%9d states, depth %4d", states, depth)
+		Progress: func(p core.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%9d states, depth %4d", p.States, p.Depth)
 		},
 	})
 	if err != nil {

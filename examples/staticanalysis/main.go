@@ -79,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ev, st := res.Effects.Stats()
-	fmt.Printf("holds=%v states=%d transitions=%d\n", res.Holds(), res.States, res.Transitions)
+	fmt.Printf("no-violation=%v states=%d transitions=%d\n", res.NoViolation(), res.States, res.Transitions)
 	fmt.Printf("%d transitions checked against the declared footprint,\n", ev)
 	fmt.Printf("%d states diffed handwritten-vs-derived POR safe class\n", st)
 }

@@ -176,6 +176,14 @@ func moduleOf(dir string) (root, path string, err error) {
 	}
 }
 
+// ModuleRoot walks up from dir to the enclosing go.mod and returns the
+// module directory, so callers can address packages by repo-relative
+// path regardless of their own working directory.
+func ModuleRoot(dir string) (string, error) {
+	root, _, err := moduleOf(dir)
+	return root, err
+}
+
 // CheckDir loads the package in dir (resolving in-module imports from
 // source) and reports every range-over-map in a function reachable from
 // the functions or methods named in roots. A fixture directory outside

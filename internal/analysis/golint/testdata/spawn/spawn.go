@@ -1,0 +1,100 @@
+// Package spawn is the recover-guard fixture: a miniature of the
+// goroutine shapes the pass must classify. Lines that must be flagged
+// carry a `// want` comment with a fragment of the expected message.
+package spawn
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// contain is a proper guard: it calls recover directly.
+func (p *pool) contain() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// leakyContain looks like a guard but calls recover only through a
+// helper, which the language ignores: deferring it does not guard.
+func (p *pool) leakyContain() {
+	helperRecover()
+}
+
+func helperRecover() {
+	_ = recover()
+}
+
+// guardedLit defers a recovering literal: clean.
+func (p *pool) guardedLit() {
+	go func() {
+		defer func() {
+			if recover() != nil {
+				return
+			}
+		}()
+		work()
+	}()
+}
+
+// guardedMethod defers the named guard method: clean.
+func (p *pool) guardedMethod() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer p.contain()
+		work()
+	}()
+}
+
+// bareSpawn has no defer at all: flagged.
+func (p *pool) bareSpawn() {
+	go func() { // want "no deferred recover guard"
+		work()
+	}()
+}
+
+// wrongFrame defers the guard inside a nested literal, which guards the
+// nested frame, not the goroutine: flagged.
+func (p *pool) wrongFrame() {
+	go func() { // want "no deferred recover guard"
+		f := func() {
+			defer p.contain()
+			work()
+		}
+		f()
+	}()
+}
+
+// indirectRecover defers a function whose recover is transitive: the
+// runtime will not honour it, so this spawn is flagged.
+func (p *pool) indirectRecover() {
+	go func() { // want "no deferred recover guard"
+		defer p.leakyContain()
+		work()
+	}()
+}
+
+// namedGuarded spawns a declared function that guards itself: clean.
+func namedGuarded() {
+	go worker()
+}
+
+func worker() {
+	defer func() { _ = recover() }()
+	work()
+}
+
+// namedBare spawns a declared function with no guard: flagged.
+func namedBare() {
+	go work() // want "no deferred recover guard"
+}
+
+// externalSpawn spawns a function this package cannot see: flagged as
+// unresolvable.
+func externalSpawn(f *sync.Once) {
+	go f.Do(work) // want "cannot verify"
+}
+
+func work() {}

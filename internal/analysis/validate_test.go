@@ -28,7 +28,9 @@ func TestValidatedExploreCapped(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !res.Holds() {
+			// Capped runs: NoViolation, not Holds — these explorations
+			// are deliberately bounded.
+			if !res.NoViolation() {
 				t.Fatalf("violation:\n%s", res.RenderViolation())
 			}
 			ev, st := res.Effects.Stats()
@@ -53,7 +55,7 @@ func TestValidatedExploreReduced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Holds() {
+	if !res.NoViolation() {
 		t.Fatalf("violation:\n%s", res.RenderViolation())
 	}
 }

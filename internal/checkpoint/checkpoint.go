@@ -1,0 +1,523 @@
+// Package checkpoint defines the durable snapshot format for the model
+// checker's layer-synchronous BFS (package explore). A checkpoint is
+// written at a layer boundary — the only point where the parallel
+// explorer's state is a consistent cut: the frontier of depth d+1 is
+// fully built, the visited set contains exactly the states of depths
+// 0..d+1, and all counters are settled behind the layer barrier.
+//
+// # Format
+//
+// A checkpoint file is a magic header followed by named sections, each
+// independently CRC-32-checksummed, closed by a trailer section holding
+// a 64-bit hash of every preceding byte:
+//
+//	magic "GCMCCKP1"
+//	section := nameLen u8 | name | payloadLen u64le | payload | crc32(payload) u32le
+//	sections: "header", "meta", "frontier", "shard-0".."shard-N", "trailer"
+//
+// Per-section checksums make corruption reports name the damaged
+// section; the whole-file trailer hash additionally covers the framing
+// bytes (names, lengths) that no section checksum protects. Loading
+// verifies both: a checkpoint either loads exactly or fails with an
+// error naming what is damaged — a tampered file can never yield a
+// garbage verdict silently.
+//
+// # Atomicity
+//
+// Save writes to <path>.tmp and renames over <path>, so a crash or kill
+// mid-write leaves either the previous complete checkpoint or a stale
+// .tmp file that is never loaded and is overwritten by the next Save.
+//
+// Frontier states are serialized with the model's canonical state codec
+// (gcmodel.EncodeState); this package treats them as opaque bytes so the
+// format — and its corruption-injection tests — need no model.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Version is the current format version, checked on load.
+const Version = 1
+
+var magic = [8]byte{'G', 'C', 'M', 'C', 'C', 'K', 'P', '1'}
+
+// Snapshot is one consistent cut of an exploration at a layer boundary.
+type Snapshot struct {
+	// OptionsFP fingerprints the model configuration and every
+	// verdict-relevant exploration option. Resuming validates it: a
+	// checkpoint taken under different options (a reduced run resumed
+	// unreduced, a different invariant battery, a different shard
+	// layout) is refused.
+	OptionsFP uint64
+	// Options is the human-readable rendering of the fingerprinted
+	// options, embedded so a refused resume can say what differed.
+	Options string
+	// Depth is the BFS depth of the frontier: every frontier state is
+	// at this depth, and resuming continues by expanding it.
+	Depth int
+	// States, Transitions, Ample and Deadlocks are the exploration
+	// counters at the cut.
+	States, Transitions, Ample, Deadlocks int64
+	// Audit records whether the visited set retains full fingerprints
+	// (explore's audit mode); Degraded records that a memory-budget
+	// watchdog dropped them mid-run.
+	Audit    bool
+	Degraded bool
+	// Checkpoints counts snapshots written so far in this run,
+	// including this one.
+	Checkpoints int
+	// Frontier holds the serialized frontier states in canonical order
+	// (sorted by fingerprint hash).
+	Frontier [][]byte
+	// Shards holds the visited set, one entry per lock stripe, in shard
+	// order. Entries within a shard are sorted by hash.
+	Shards []Shard
+}
+
+// Shard is the serialized form of one visited-set stripe: parallel
+// arrays of state-fingerprint hashes, parent hashes, and event indices
+// (the trace-replay table), plus full fingerprints in audit mode.
+type Shard struct {
+	Hashes  []uint64
+	Parents []uint64
+	EIdxs   []int32
+	// FPs carries the canonical fingerprint per entry in audit mode,
+	// nil otherwise.
+	FPs [][]byte
+}
+
+// Section describes one framed section of a checkpoint file, for
+// inspection and fault-injection tests.
+type Section struct {
+	Name string
+	// Off and Len delimit the section payload within the file.
+	Off, Len int
+}
+
+// --- Marshalling ---
+
+// appendSection frames one section onto dst.
+func appendSection(dst []byte, name string, payload []byte) []byte {
+	dst = append(dst, byte(len(name)))
+	dst = append(dst, name...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// Marshal encodes the snapshot into the checkpoint file format.
+func (s *Snapshot) Marshal() []byte {
+	out := append([]byte(nil), magic[:]...)
+
+	var hdr []byte
+	hdr = binary.LittleEndian.AppendUint32(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, s.OptionsFP)
+	hdr = binary.AppendUvarint(hdr, uint64(len(s.Options)))
+	hdr = append(hdr, s.Options...)
+	out = appendSection(out, "header", hdr)
+
+	var meta []byte
+	meta = binary.AppendUvarint(meta, uint64(s.Depth))
+	meta = binary.AppendVarint(meta, s.States)
+	meta = binary.AppendVarint(meta, s.Transitions)
+	meta = binary.AppendVarint(meta, s.Ample)
+	meta = binary.AppendVarint(meta, s.Deadlocks)
+	var flags byte
+	if s.Audit {
+		flags |= 1
+	}
+	if s.Degraded {
+		flags |= 2
+	}
+	meta = append(meta, flags)
+	meta = binary.AppendUvarint(meta, uint64(s.Checkpoints))
+	meta = binary.AppendUvarint(meta, uint64(len(s.Shards)))
+	meta = binary.AppendUvarint(meta, uint64(len(s.Frontier)))
+	out = appendSection(out, "meta", meta)
+
+	var fr []byte
+	for _, st := range s.Frontier {
+		fr = binary.AppendUvarint(fr, uint64(len(st)))
+		fr = append(fr, st...)
+	}
+	out = appendSection(out, "frontier", fr)
+
+	for i, sh := range s.Shards {
+		var p []byte
+		p = binary.AppendUvarint(p, uint64(len(sh.Hashes)))
+		for j := range sh.Hashes {
+			p = binary.LittleEndian.AppendUint64(p, sh.Hashes[j])
+			p = binary.LittleEndian.AppendUint64(p, sh.Parents[j])
+			p = binary.AppendVarint(p, int64(sh.EIdxs[j]))
+			if s.Audit {
+				p = binary.AppendUvarint(p, uint64(len(sh.FPs[j])))
+				p = append(p, sh.FPs[j]...)
+			}
+		}
+		out = appendSection(out, fmt.Sprintf("shard-%d", i), p)
+	}
+
+	var tr []byte
+	tr = binary.LittleEndian.AppendUint64(tr, hash64(out))
+	out = appendSection(out, "trailer", tr)
+	return out
+}
+
+// hash64 is the FNV-1a whole-file hash (the same function the checker
+// uses for state fingerprints, re-implemented here so the format stands
+// alone).
+func hash64(b []byte) uint64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Save atomically writes the snapshot to path (via path+".tmp" and
+// rename) and returns the number of bytes written.
+func Save(path string, s *Snapshot) (int64, error) {
+	data := s.Marshal()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	return int64(len(data)), nil
+}
+
+// --- Unmarshalling ---
+
+// reader walks the framed sections of a checkpoint image.
+type reader struct {
+	data []byte
+	off  int
+}
+
+// section reads the next section frame, verifying its checksum.
+func (r *reader) section() (name string, payload []byte, payOff int, err error) {
+	if r.off >= len(r.data) {
+		return "", nil, 0, fmt.Errorf("checkpoint: truncated: expected a section at offset %d", r.off)
+	}
+	nameLen := int(r.data[r.off])
+	p := r.off + 1
+	if p+nameLen > len(r.data) {
+		return "", nil, 0, fmt.Errorf("checkpoint: truncated section name at offset %d", r.off)
+	}
+	name = string(r.data[p : p+nameLen])
+	p += nameLen
+	if p+8 > len(r.data) {
+		return "", nil, 0, fmt.Errorf("checkpoint: section %q: truncated length", name)
+	}
+	plen := binary.LittleEndian.Uint64(r.data[p:])
+	p += 8
+	if plen > uint64(len(r.data)-p) {
+		return "", nil, 0, fmt.Errorf("checkpoint: section %q: truncated payload (%d bytes claimed, %d available)", name, plen, len(r.data)-p)
+	}
+	payOff = p
+	payload = r.data[p : p+int(plen)]
+	p += int(plen)
+	if p+4 > len(r.data) {
+		return "", nil, 0, fmt.Errorf("checkpoint: section %q: truncated checksum", name)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(r.data[p:]); got != want {
+		return "", nil, 0, fmt.Errorf("checkpoint: section %q: checksum mismatch (corrupt)", name)
+	}
+	r.off = p + 4
+	return name, payload, payOff, nil
+}
+
+// Scan parses the section framing of a checkpoint image without
+// interpreting payloads, verifying per-section checksums as it goes. It
+// backs the corruption-injection tests and external inspection.
+func Scan(data []byte) ([]Section, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic (not a checkpoint file)")
+	}
+	r := &reader{data: data, off: len(magic)}
+	var out []Section
+	for r.off < len(data) {
+		name, payload, off, err := r.section()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Section{Name: name, Off: off, Len: len(payload)})
+		if name == "trailer" {
+			if r.off != len(data) {
+				return nil, fmt.Errorf("checkpoint: %d trailing bytes after trailer", len(data)-r.off)
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: truncated: no trailer section")
+}
+
+// Unmarshal decodes a checkpoint image, verifying every section
+// checksum and the whole-file trailer hash.
+func Unmarshal(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic (not a checkpoint file)")
+	}
+	r := &reader{data: data, off: len(magic)}
+	s := &Snapshot{}
+
+	// header
+	name, payload, _, err := r.section()
+	if err != nil {
+		return nil, err
+	}
+	if name != "header" {
+		return nil, fmt.Errorf("checkpoint: section %q where \"header\" expected", name)
+	}
+	d := &secDecoder{name: "header", buf: payload}
+	if v := d.u32(); d.err == nil && v != Version {
+		return nil, fmt.Errorf("checkpoint: section \"header\": format version %d (this build reads %d)", v, Version)
+	}
+	s.OptionsFP = d.u64()
+	s.Options = string(d.bytes())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("checkpoint: section \"header\": %d bytes left over", len(d.buf))
+	}
+
+	// meta
+	name, payload, _, err = r.section()
+	if err != nil {
+		return nil, err
+	}
+	if name != "meta" {
+		return nil, fmt.Errorf("checkpoint: section %q where \"meta\" expected", name)
+	}
+	d = &secDecoder{name: "meta", buf: payload}
+	s.Depth = int(d.uvarint())
+	s.States = d.varint()
+	s.Transitions = d.varint()
+	s.Ample = d.varint()
+	s.Deadlocks = d.varint()
+	flags := d.byte()
+	s.Audit = flags&1 != 0
+	s.Degraded = flags&2 != 0
+	s.Checkpoints = int(d.uvarint())
+	nshards := d.uvarint()
+	nfrontier := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if s.States < 0 || s.Transitions < 0 || s.Ample < 0 || s.Deadlocks < 0 {
+		return nil, fmt.Errorf("checkpoint: section \"meta\": negative counter")
+	}
+	if nshards > 1<<20 || nfrontier > 1<<40 {
+		return nil, fmt.Errorf("checkpoint: section \"meta\": absurd shard/frontier count (%d/%d)", nshards, nfrontier)
+	}
+
+	// frontier
+	name, payload, _, err = r.section()
+	if err != nil {
+		return nil, err
+	}
+	if name != "frontier" {
+		return nil, fmt.Errorf("checkpoint: section %q where \"frontier\" expected", name)
+	}
+	d = &secDecoder{name: "frontier", buf: payload}
+	s.Frontier = make([][]byte, 0, nfrontier)
+	for i := uint64(0); i < nfrontier; i++ {
+		s.Frontier = append(s.Frontier, d.bytes())
+		if d.err != nil {
+			return nil, fmt.Errorf("checkpoint: section \"frontier\": state %d: %w", i, d.err)
+		}
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("checkpoint: section \"frontier\": %d bytes left over", len(d.buf))
+	}
+
+	// shards
+	s.Shards = make([]Shard, nshards)
+	for i := uint64(0); i < nshards; i++ {
+		want := fmt.Sprintf("shard-%d", i)
+		name, payload, _, err = r.section()
+		if err != nil {
+			return nil, err
+		}
+		if name != want {
+			return nil, fmt.Errorf("checkpoint: section %q where %q expected", name, want)
+		}
+		d = &secDecoder{name: want, buf: payload}
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.buf)) {
+			return nil, fmt.Errorf("checkpoint: section %q: %d entries exceed payload", want, n)
+		}
+		sh := &s.Shards[i]
+		sh.Hashes = make([]uint64, 0, n)
+		sh.Parents = make([]uint64, 0, n)
+		sh.EIdxs = make([]int32, 0, n)
+		if s.Audit {
+			sh.FPs = make([][]byte, 0, n)
+		}
+		for j := uint64(0); j < n; j++ {
+			sh.Hashes = append(sh.Hashes, d.u64())
+			sh.Parents = append(sh.Parents, d.u64())
+			sh.EIdxs = append(sh.EIdxs, int32(d.varint()))
+			if s.Audit {
+				sh.FPs = append(sh.FPs, d.bytes())
+			}
+			if d.err != nil {
+				return nil, fmt.Errorf("checkpoint: section %q: entry %d: %w", want, j, d.err)
+			}
+		}
+		if len(d.buf) != 0 {
+			return nil, fmt.Errorf("checkpoint: section %q: %d bytes left over", want, len(d.buf))
+		}
+	}
+
+	// trailer: whole-file hash over every byte before the trailer frame.
+	trailerStart := r.off
+	name, payload, _, err = r.section()
+	if err != nil {
+		return nil, err
+	}
+	if name != "trailer" {
+		return nil, fmt.Errorf("checkpoint: section %q where \"trailer\" expected", name)
+	}
+	if len(payload) != 8 {
+		return nil, fmt.Errorf("checkpoint: section \"trailer\": %d-byte payload (want 8)", len(payload))
+	}
+	if got, want := hash64(data[:trailerStart]), binary.LittleEndian.Uint64(payload); got != want {
+		return nil, fmt.Errorf("checkpoint: whole-file hash mismatch (framing corrupt)")
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after trailer", len(data)-r.off)
+	}
+	return s, nil
+}
+
+// Load reads and verifies the checkpoint at path.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return Unmarshal(data)
+}
+
+// secDecoder reads varint-packed fields from one section payload,
+// latching the first error with the section name attached.
+type secDecoder struct {
+	name string
+	buf  []byte
+	err  error
+}
+
+func (d *secDecoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("checkpoint: section %q: %s", d.name, msg)
+	}
+}
+
+func (d *secDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *secDecoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *secDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *secDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.buf)
+	if k <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[k:]
+	return v
+}
+
+func (d *secDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Varint(d.buf)
+	if k <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[k:]
+	return v
+}
+
+func (d *secDecoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail(fmt.Sprintf("byte string of %d exceeds %d-byte payload", n, len(d.buf)))
+		return nil
+	}
+	out := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return out
+}

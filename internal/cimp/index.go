@@ -64,6 +64,15 @@ func (ix *Index[S]) ID(c Com[S]) int {
 // Len reports the number of indexed command nodes.
 func (ix *Index[S]) Len() int { return len(ix.coms) }
 
+// Com returns the command node with identity id, or false when id is out
+// of range. It is the inverse of ID, used to decode serialized stacks.
+func (ix *Index[S]) Com(id int) (Com[S], bool) {
+	if id < 0 || id >= len(ix.coms) {
+		return nil, false
+	}
+	return ix.coms[id], true
+}
+
 // AppendStack appends a compact encoding of a frame stack to dst.
 func (ix *Index[S]) AppendStack(dst []byte, stack []Com[S]) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(stack)))
@@ -71,4 +80,38 @@ func (ix *Index[S]) AppendStack(dst []byte, stack []Com[S]) []byte {
 		dst = binary.AppendUvarint(dst, uint64(ix.ID(c)))
 	}
 	return dst
+}
+
+// DecodeStack decodes a frame stack encoded by AppendStack, returning
+// the stack and the remaining bytes. Command identities are resolved
+// through the index, so the decoded stack aliases the (immutable)
+// program graph the index was built over. Malformed input — a truncated
+// varint, an out-of-range identity, or an absurd length — is an error,
+// never a panic: checkpoint loading must reject corruption gracefully.
+func (ix *Index[S]) DecodeStack(data []byte) ([]Com[S], []byte, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("cimp: truncated stack length")
+	}
+	data = data[k:]
+	if n > uint64(len(ix.coms)) {
+		// A stack can never hold more frames than there are command
+		// nodes: Norm collapses structural wrappers and programs are
+		// finite, so any larger count is corruption.
+		return nil, nil, fmt.Errorf("cimp: stack length %d exceeds program size %d", n, len(ix.coms))
+	}
+	stack := make([]Com[S], 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("cimp: truncated stack entry %d", i)
+		}
+		data = data[k:]
+		c, ok := ix.Com(int(id))
+		if !ok {
+			return nil, nil, fmt.Errorf("cimp: stack entry %d: command id %d not in index (%d commands)", i, id, len(ix.coms))
+		}
+		stack = append(stack, c)
+	}
+	return stack, data, nil
 }

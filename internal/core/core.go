@@ -17,9 +17,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/checkpoint"
 	"repro/internal/explore"
 	"repro/internal/gcmodel"
 	"repro/internal/gcrt"
@@ -32,6 +34,9 @@ import (
 // ModelConfig re-exports the model configuration.
 type ModelConfig = gcmodel.Config
 
+// Progress re-exports the checker's progress report.
+type Progress = explore.Progress
+
 // VerifyOptions bounds a verification run.
 type VerifyOptions struct {
 	// MaxStates caps the exploration (0 = unbounded).
@@ -43,8 +48,8 @@ type VerifyOptions struct {
 	// HeadlineOnly checks just valid_refs_inv instead of the full
 	// battery.
 	HeadlineOnly bool
-	// Progress, if non-nil, receives periodic (states, depth) updates.
-	Progress func(states, depth int)
+	// Progress, if non-nil, receives periodic updates.
+	Progress func(Progress)
 	// Workers is the number of checker worker goroutines per BFS layer
 	// (0 = GOMAXPROCS). Verdicts do not depend on the worker count.
 	Workers int
@@ -84,6 +89,29 @@ type VerifyOptions struct {
 	// ("event-check" / "state-check"). VerifyResult.Effects carries the
 	// validation counters.
 	ValidateEffects bool
+	// Context, if non-nil, requests graceful interruption: the checker
+	// observes cancellation at BFS layer boundaries, writes a final
+	// checkpoint when one is configured, and reports the run incomplete
+	// (Stopped == explore.StopInterrupted). See explore.Options.Context.
+	Context context.Context
+	// CheckpointPath enables periodic snapshots of the search state to
+	// this file (atomic temp-file-and-rename writes); empty disables.
+	CheckpointPath string
+	// CheckpointEvery is the number of BFS layers between snapshots
+	// (0 = checker default).
+	CheckpointEvery int
+	// Resume, if non-empty, restores the search from the checkpoint file
+	// at this path instead of starting at the initial state. The
+	// checkpoint's options must match this run's (Verify returns an
+	// error otherwise), and the resumed run reaches the same counts and
+	// verdict as an uninterrupted one.
+	Resume string
+	// MemBudget, if positive, is a soft heap budget in bytes: as the
+	// checker's live heap approaches it, the run degrades in steps
+	// (emergency checkpoint, then dropping audit fingerprints, then a
+	// clean incomplete stop) instead of dying to the OOM killer. See
+	// explore.Options.MemBudget.
+	MemBudget int64
 }
 
 // VerifyResult reports a verification run.
@@ -101,10 +129,39 @@ type VerifyResult struct {
 	Effects *analysis.Validator
 }
 
-// Holds reports whether every checked invariant held on every explored
-// state and, if the liveness pass ran, every progress property held.
+// Holds reports whether the checked properties are established on the
+// bounded configuration: every invariant held on every state of a
+// COMPLETE exploration (and, if the liveness pass ran, every progress
+// property held on a complete graph). An incomplete run — capped,
+// interrupted, memory-budgeted, or poisoned by a panic — never
+// establishes the property; use NoViolation for the weaker "nothing
+// failed in what was explored".
 func (r VerifyResult) Holds() bool {
+	return r.Violation == nil && r.Complete &&
+		(r.Liveness == nil || (r.Liveness.Holds() && r.Liveness.Complete))
+}
+
+// NoViolation reports that no invariant or progress violation was found
+// in whatever portion of the state space was explored. For incomplete
+// runs this is evidence, not proof.
+func (r VerifyResult) NoViolation() bool {
 	return r.Violation == nil && (r.Liveness == nil || r.Liveness.Holds())
+}
+
+// Status names the verdict category: "verified" (complete and clean),
+// "no-violation" (clean but incomplete), "violation", or
+// "liveness-violation".
+func (r VerifyResult) Status() string {
+	switch {
+	case r.Violation != nil:
+		return "violation"
+	case r.Liveness != nil && !r.Liveness.Holds():
+		return "liveness-violation"
+	case r.Holds():
+		return "verified"
+	default:
+		return "no-violation"
+	}
 }
 
 // RenderViolation formats the counterexample, or "" if none.
@@ -135,6 +192,19 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 		HashOnly:  !opt.Audit,
 		Reduce:    opt.Reduce,
 		Symmetry:  opt.Symmetry,
+		Context:   opt.Context,
+		Checkpoint: explore.CheckpointOptions{
+			Path:        opt.CheckpointPath,
+			EveryLayers: opt.CheckpointEvery,
+		},
+		MemBudget: opt.MemBudget,
+	}
+	if opt.Resume != "" {
+		snap, err := checkpoint.Load(opt.Resume)
+		if err != nil {
+			return VerifyResult{}, fmt.Errorf("core: %w", err)
+		}
+		eopt.Resume = snap
 	}
 	var val *analysis.Validator
 	if opt.ValidateEffects {
@@ -147,6 +217,16 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 	}
 	res := explore.Run(m, checks, eopt)
 	vr := VerifyResult{Result: res, Model: m, Effects: val}
+	if res.Stopped == explore.StopResume {
+		return vr, fmt.Errorf("core: %w", res.Err)
+	}
+	// The liveness pass runs only when the safety pass ended on its own
+	// terms: an interruption, memory stop, or worker panic means the user
+	// (or the machine) wants the run over, not a second exploration.
+	switch res.Stopped {
+	case explore.StopInterrupted, explore.StopMemBudget, explore.StopPanic:
+		return vr, nil
+	}
 	if opt.Liveness && res.Violation == nil {
 		var props []liveness.Property
 		if opt.LivenessProps != nil {
@@ -160,6 +240,7 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 			MaxDepth:   opt.MaxDepth,
 			Progress:   opt.Progress,
 			Properties: props,
+			Context:    opt.Context,
 		})
 		if err != nil {
 			return vr, fmt.Errorf("core: %w", err)
@@ -174,6 +255,9 @@ type SimulateOptions struct {
 	Seed       int64
 	Steps      int
 	CheckEvery int
+	// Context, when non-nil, interrupts the walk between steps
+	// (Result.Interrupted).
+	Context context.Context
 }
 
 // Simulate performs a seeded random walk with invariant monitors — depth
@@ -187,6 +271,7 @@ func Simulate(cfg ModelConfig, opt SimulateOptions) (sched.Result, error) {
 		Seed:       opt.Seed,
 		Steps:      opt.Steps,
 		CheckEvery: opt.CheckEvery,
+		Context:    opt.Context,
 	}), nil
 }
 

@@ -29,11 +29,19 @@ func TestVerifyBoundedRunHoldsOnSafeModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Holds() {
+	if !res.NoViolation() {
 		t.Fatalf("violation:\n%s", res.RenderViolation())
 	}
 	if res.Complete {
 		t.Fatal("30k-state cap should not exhaust the tiny config")
+	}
+	// A capped run must never claim the property holds: Holds demands a
+	// complete exploration.
+	if res.Holds() {
+		t.Fatal("Holds() true on an incomplete (capped) run")
+	}
+	if res.Status() != "no-violation" {
+		t.Fatalf("Status() = %q on a clean capped run, want no-violation", res.Status())
 	}
 	if res.RenderViolation() != "" {
 		t.Fatal("RenderViolation non-empty without violation")

@@ -42,14 +42,19 @@
 package explore
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cimp"
 	"repro/internal/gcmodel"
 	"repro/internal/invariant"
@@ -69,11 +74,13 @@ type Options struct {
 	// Trace records a compact (parent hash, event index) pair per state
 	// so a counterexample path can be reconstructed by replay.
 	Trace bool
-	// Progress, if non-nil, receives (states, depth) roughly every
+	// Progress, if non-nil, receives a Progress report roughly every
 	// ProgressEvery newly visited states. Reports are driven by a
 	// monotonic global state counter, so they can neither skip nor
-	// double-report an interval regardless of worker count.
-	Progress func(states, depth int)
+	// double-report an interval regardless of worker count. The
+	// transition count in a report is a mid-layer read of the workers'
+	// running totals and may trail the state count slightly.
+	Progress func(Progress)
 	// ProgressEvery is the number of newly visited states between
 	// Progress calls (0 = 8192).
 	ProgressEvery int
@@ -130,6 +137,111 @@ type Options struct {
 	// classification against the handwritten one on every reachable
 	// state.
 	StateCheck func(st cimp.System[*gcmodel.Local]) error
+	// Context, if non-nil, requests graceful interruption: cancellation
+	// is observed at layer boundaries only ("finish the current layer"),
+	// so an interrupted run stops at a consistent cut, writes a final
+	// checkpoint when one is configured, and reports
+	// Result.Stopped == StopInterrupted. Mid-layer work is never torn.
+	Context context.Context
+	// Checkpoint configures periodic snapshots of the search at layer
+	// boundaries; see CheckpointOptions.
+	Checkpoint CheckpointOptions
+	// Resume, if non-nil, restores the search from a snapshot instead of
+	// the initial state. The snapshot's options fingerprint must match
+	// this run's (model configuration and every verdict-relevant option;
+	// the worker count is deliberately excluded, so a run may be resumed
+	// with a different parallelism). A mismatch or a corrupt snapshot
+	// refuses the run with Result.Stopped == StopResume. A resumed run
+	// reaches the same final state/transition/depth counts and verdict
+	// as the uninterrupted run.
+	Resume *checkpoint.Snapshot
+	// MemBudget, if positive, is a soft heap budget in bytes enforced by
+	// a watchdog at layer boundaries. As the live heap approaches the
+	// budget the run degrades in steps rather than dying to the OOM
+	// killer: at 70% it writes a one-time emergency checkpoint (when a
+	// checkpoint path is configured); at 85% it drops audit-mode
+	// fingerprint retention and continues hash-only (Result.Degraded);
+	// at 100% it writes a final checkpoint and stops cleanly with
+	// Result.Stopped == StopMemBudget.
+	MemBudget int64
+	// MemSample overrides the watchdog's heap probe (a test hook; nil
+	// means runtime.ReadMemStats HeapAlloc).
+	MemSample func() uint64
+}
+
+// CheckpointOptions configures run snapshots.
+type CheckpointOptions struct {
+	// Path is the checkpoint file; empty disables checkpointing. Writes
+	// are atomic (temp file + rename), so the file always holds the
+	// latest complete snapshot.
+	Path string
+	// EveryLayers is the number of BFS layers between periodic
+	// snapshots (0 = 16 when Path is set). Interruption and the memory
+	// watchdog write additional snapshots regardless of cadence.
+	EveryLayers int
+}
+
+// Progress is one progress report.
+type Progress struct {
+	// States is the number of distinct states visited so far.
+	States int
+	// Transitions is the number of transitions taken so far (a mid-layer
+	// approximation: workers publish their totals at chunk boundaries).
+	Transitions int
+	// Depth is the BFS depth currently being expanded into.
+	Depth int
+	// Frontier is the size of the layer currently being expanded.
+	Frontier int
+	// Elapsed is the wall-clock time since the run (not the original,
+	// pre-resume run) started.
+	Elapsed time.Duration
+}
+
+// StopReason says why a run ended before exhausting the state space.
+type StopReason string
+
+const (
+	// StopNone: the reachable state space was exhausted — the verdict is
+	// over the complete bounded model.
+	StopNone StopReason = ""
+	// StopViolation: an invariant failed; the search stopped at the end
+	// of the violating layer.
+	StopViolation StopReason = "violation"
+	// StopMaxStates: the MaxStates cap fired.
+	StopMaxStates StopReason = "max-states"
+	// StopMaxDepth: the MaxDepth cap fired.
+	StopMaxDepth StopReason = "max-depth"
+	// StopInterrupted: Options.Context was cancelled; the run finished
+	// its layer and stopped at a consistent cut.
+	StopInterrupted StopReason = "interrupted"
+	// StopMemBudget: the memory watchdog exhausted its degradation
+	// ladder and stopped the run.
+	StopMemBudget StopReason = "mem-budget"
+	// StopPanic: a worker panicked; the run was poisoned and terminated
+	// within the layer. Result.Err holds the *PanicError.
+	StopPanic StopReason = "panic"
+	// StopResume: Options.Resume was refused (options mismatch or a
+	// damaged snapshot). Nothing was explored; Result.Err says why.
+	StopResume StopReason = "resume-refused"
+)
+
+// PanicError is the structured report of a contained worker panic.
+type PanicError struct {
+	// Depth is the layer being expanded when the panic fired.
+	Depth int
+	// StateHash is the fingerprint hash of the state the panicking
+	// worker was expanding.
+	StateHash uint64
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery
+	// (deferred functions run before the stack unwinds, so the panic
+	// origin frames are included).
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("worker panic at depth %d (state %016x): %v", p.Depth, p.StateHash, p.Value)
 }
 
 // Step is one transition of a counterexample trace.
@@ -179,8 +291,25 @@ type Result struct {
 	// Depth is the deepest BFS layer reached.
 	Depth int
 	// Complete reports whether the full reachable state space was
-	// exhausted within the caps.
+	// exhausted: it is exactly Stopped == StopNone. Any stop — a cap, an
+	// interruption, the memory watchdog, a violation, a panic — leaves
+	// the run incomplete, and no caller may treat an incomplete run's
+	// absence of violations as "the property holds".
 	Complete bool
+	// Stopped says why the run ended early (StopNone for a complete
+	// run).
+	Stopped StopReason
+	// Err carries the structured error for StopPanic (a *PanicError) and
+	// StopResume, or a checkpoint-write failure that did not stop the
+	// run. Nil otherwise.
+	Err error
+	// Checkpoints is the cumulative number of snapshots written,
+	// carried across resumes.
+	Checkpoints int
+	// Degraded reports that the memory watchdog dropped audit-mode
+	// fingerprint retention mid-run (or that the run resumed from a
+	// degraded snapshot): HashCollisions then undercounts.
+	Degraded bool
 	// Deadlocks counts states with no outgoing transition.
 	Deadlocks int
 	// Violation is the minimal-depth invariant failure found, or nil.
@@ -288,6 +417,20 @@ func (v *visited) lookup(h uint64) (rec, bool) {
 	return r, ok
 }
 
+// dropAudit releases the audit-mode fingerprint strings and switches the
+// set to hash-only operation. Callers invoke it only at a layer boundary
+// (no workers running), so flipping v.audit is race-free.
+func (v *visited) dropAudit() {
+	for i := range v.shards {
+		s := &v.shards[i]
+		for _, fp := range s.fps {
+			s.bytes -= int64(16 + len(fp))
+		}
+		s.fps = nil
+	}
+	v.audit = false
+}
+
 // fpPool recycles the per-worker fingerprint scratch buffers.
 var fpPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
 
@@ -325,7 +468,27 @@ type explorer struct {
 	viol     *Violation
 	violHash uint64
 
-	progressMu sync.Mutex
+	progressMu  sync.Mutex
+	start       time.Time
+	frontierLen atomic.Int64
+
+	// Panic containment: a worker panic poisons the run (checked in the
+	// chunk-claim loop so every worker bails within its current chunk),
+	// and the first panic's structured report wins. curHash[w] tracks the
+	// state worker w is expanding, so the report can name it.
+	poisoned atomic.Bool
+	panicMu  sync.Mutex
+	panicErr *PanicError
+	curHash  []atomic.Uint64
+
+	// Durability bookkeeping, touched only at layer boundaries.
+	optFP       uint64
+	optSummary  string
+	checkpoints int
+	ckptErr     error
+	degraded    bool
+	emergency   bool
+	memSample   func() uint64
 }
 
 // Run explores the model's reachable states, checking every invariant at
@@ -348,69 +511,195 @@ func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invari
 		every = 8192
 	}
 	e := &explorer{
-		m:       m,
-		checks:  checks,
-		opt:     opt,
-		workers: workers,
-		every:   every,
-		init:    init,
-		seen:    newVisited(opt.Shards, !opt.HashOnly),
+		m:         m,
+		checks:    checks,
+		opt:       opt,
+		workers:   workers,
+		every:     every,
+		init:      init,
+		seen:      newVisited(opt.Shards, !opt.HashOnly),
+		start:     start,
+		curHash:   make([]atomic.Uint64, workers),
+		memSample: opt.MemSample,
 	}
 	if opt.Symmetry {
 		e.fp = m.AppendCanonicalFingerprint
 	} else {
 		e.fp = m.AppendFingerprint
 	}
+	e.optFP, e.optSummary = optionsFingerprint(m, checks, opt)
+	if e.memSample == nil {
+		e.memSample = func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		}
+	}
 	res := e.run()
 	res.Elapsed = time.Since(start)
 	return res
 }
 
+// optionsFingerprint hashes everything the verdict depends on: the model
+// configuration and every exploration option that changes which states
+// are visited, what is checked, or how the visited set is keyed and laid
+// out. The worker count is deliberately excluded (the layer barrier
+// makes verdicts worker-count independent), so a checkpoint may be
+// resumed with different parallelism. The summary string is embedded in
+// checkpoints so a refused resume can say what differed.
+func optionsFingerprint(m *gcmodel.Model, checks []invariant.Check, opt Options) (uint64, string) {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 64
+	}
+	shards = 1 << bits.Len(uint(shards-1))
+	names := make([]string, len(checks))
+	for i, c := range checks {
+		names[i] = c.Name
+	}
+	summary := fmt.Sprintf(
+		"cfg=%+v checks=%v maxStates=%d maxDepth=%d trace=%v hashOnly=%v reduce=%v symmetry=%v shards=%d eventCheck=%v stateCheck=%v",
+		m.Cfg, names, opt.MaxStates, opt.MaxDepth, opt.Trace, opt.HashOnly,
+		opt.Reduce, opt.Symmetry, shards,
+		opt.EventCheck != nil, opt.StateCheck != nil,
+	)
+	return gcmodel.Hash64([]byte(summary)), summary
+}
+
 func (e *explorer) run() Result {
-	res := Result{Complete: true}
+	var res Result
 
 	bp := fpPool.Get().(*[]byte)
 	buf := e.fp((*bp)[:0], e.init)
 	e.initHash = gcmodel.Hash64(buf)
-	e.seen.insert(e.initHash, rec{eidx: -1}, buf)
+
+	var layer []qent
+	startDepth := 0
+	if e.opt.Resume != nil {
+		var err error
+		layer, startDepth, err = e.restore(e.opt.Resume)
+		if err != nil {
+			*bp = buf
+			fpPool.Put(bp)
+			res.Stopped = StopResume
+			res.Err = err
+			return res
+		}
+	} else {
+		e.seen.insert(e.initHash, rec{eidx: -1}, buf)
+		e.states.Store(1)
+		if v := e.check(e.init, 0); v != nil {
+			*bp = buf
+			fpPool.Put(bp)
+			res.Violation = v
+			res.Stopped = StopViolation
+			e.collect(&res)
+			return res
+		}
+		layer = []qent{{state: e.init, hash: e.initHash}}
+	}
 	*bp = buf
 	fpPool.Put(bp)
-	e.states.Store(1)
 
-	if v := e.check(e.init, 0); v != nil {
-		res.Violation = v
-		res.States = 1
-		res.Complete = false
-		e.collect(&res)
-		return res
+	every := e.opt.Checkpoint.EveryLayers
+	if every <= 0 {
+		every = 16
 	}
-
-	layer := []qent{{state: e.init, hash: e.initHash}}
-	for depth := 0; len(layer) > 0; depth++ {
+	layersDone := 0
+	for depth := startDepth; len(layer) > 0; depth++ {
 		res.Depth = depth
 		if e.opt.MaxDepth > 0 && depth >= e.opt.MaxDepth {
-			res.Complete = false
+			res.Stopped = StopMaxDepth
 			break
 		}
 		layer = e.expandLayer(layer, depth)
+		layersDone++
+		if e.panicErr != nil {
+			// The visited set and counters may be mid-update for this
+			// layer: no checkpoint is written from a poisoned run.
+			res.Stopped = StopPanic
+			res.Err = e.panicErr
+			break
+		}
 		if e.violated.Load() {
+			res.Stopped = StopViolation
 			break
 		}
 		if e.capped.Load() {
-			res.Complete = false
+			// Workers bail mid-layer on the cap, so the frontier is not
+			// a consistent cut: no checkpoint either.
+			res.Stopped = StopMaxStates
 			break
+		}
+		// The layer barrier has been crossed: the frontier at depth+1 is
+		// complete and every counter is settled — the only consistent
+		// cut. Checkpoints, the memory watchdog, and cancellation all
+		// act here.
+		if stop := e.watchdog(depth+1, layer, &res); stop {
+			res.Stopped = StopMemBudget
+			break
+		}
+		if interrupted(e.opt.Context) {
+			e.writeCheckpoint(depth+1, layer)
+			res.Stopped = StopInterrupted
+			break
+		}
+		if e.opt.Checkpoint.Path != "" && layersDone%every == 0 && len(layer) > 0 {
+			e.writeCheckpoint(depth+1, layer)
 		}
 	}
 
 	if e.viol != nil {
 		res.Violation = e.viol
-		res.Complete = false
 		if e.opt.Trace {
-			e.viol.Trace = e.replay(e.tracePath(e.violHash))
+			res.Violation.Trace = e.replay(e.tracePath(e.violHash))
 		}
+	}
+	res.Complete = res.Stopped == StopNone
+	if res.Err == nil {
+		res.Err = e.ckptErr
 	}
 	e.collect(&res)
 	return res
+}
+
+// interrupted reports whether ctx (possibly nil) has been cancelled.
+func interrupted(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// watchdog is the layer-boundary memory ladder; see Options.MemBudget.
+// It reports true when the run must stop.
+func (e *explorer) watchdog(depth int, layer []qent, res *Result) bool {
+	if e.opt.MemBudget <= 0 {
+		return false
+	}
+	used := int64(e.memSample())
+	switch {
+	case used >= e.opt.MemBudget:
+		e.writeCheckpoint(depth, layer)
+		return true
+	case used >= e.opt.MemBudget*85/100:
+		if e.seen.audit {
+			e.seen.dropAudit()
+			e.degraded = true
+			runtime.GC()
+		}
+	case used >= e.opt.MemBudget*70/100:
+		if !e.emergency {
+			e.emergency = true
+			e.writeCheckpoint(depth, layer)
+		}
+	}
+	return false
 }
 
 // collect folds the atomic and per-shard counters into the result.
@@ -419,10 +708,161 @@ func (e *explorer) collect(res *Result) {
 	res.Transitions = int(e.transitions.Load())
 	res.AmpleStates = int(e.ample.Load())
 	res.Deadlocks = int(e.deadlocks.Load())
+	res.Checkpoints = e.checkpoints
+	res.Degraded = e.degraded
 	for i := range e.seen.shards {
 		res.HashCollisions += int(e.seen.shards[i].collisions)
 		res.VisitedBytes += e.seen.shards[i].bytes
 	}
+}
+
+// snapshot captures the search at a layer boundary: the frontier at
+// depth, the full visited set, and the settled counters. Frontier states
+// and shard entries are sorted by fingerprint hash so the snapshot bytes
+// are canonical for the cut.
+func (e *explorer) snapshot(depth int, layer []qent) *checkpoint.Snapshot {
+	s := &checkpoint.Snapshot{
+		OptionsFP:   e.optFP,
+		Options:     e.optSummary,
+		Depth:       depth,
+		States:      e.states.Load(),
+		Transitions: e.transitions.Load(),
+		Ample:       e.ample.Load(),
+		Deadlocks:   e.deadlocks.Load(),
+		Audit:       e.seen.audit,
+		Degraded:    e.degraded,
+		Checkpoints: e.checkpoints,
+	}
+	ord := make([]int, len(layer))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return layer[ord[a]].hash < layer[ord[b]].hash })
+	s.Frontier = make([][]byte, len(layer))
+	for i, j := range ord {
+		s.Frontier[i] = e.m.EncodeState(nil, layer[j].state)
+	}
+	s.Shards = make([]checkpoint.Shard, len(e.seen.shards))
+	for i := range e.seen.shards {
+		sh := &e.seen.shards[i]
+		hs := make([]uint64, 0, len(sh.recs))
+		for h := range sh.recs {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
+		out := checkpoint.Shard{
+			Hashes:  hs,
+			Parents: make([]uint64, len(hs)),
+			EIdxs:   make([]int32, len(hs)),
+		}
+		if e.seen.audit {
+			out.FPs = make([][]byte, len(hs))
+		}
+		for j, h := range hs {
+			r := sh.recs[h]
+			out.Parents[j] = r.parent
+			out.EIdxs[j] = r.eidx
+			if e.seen.audit {
+				out.FPs[j] = []byte(sh.fps[h])
+			}
+		}
+		s.Shards[i] = out
+	}
+	return s
+}
+
+// writeCheckpoint snapshots the cut and saves it atomically. A write
+// failure does not stop the search; the first failure is surfaced in
+// Result.Err.
+func (e *explorer) writeCheckpoint(depth int, layer []qent) {
+	if e.opt.Checkpoint.Path == "" {
+		return
+	}
+	e.checkpoints++
+	snap := e.snapshot(depth, layer)
+	if _, err := checkpoint.Save(e.opt.Checkpoint.Path, snap); err != nil {
+		e.checkpoints--
+		if e.ckptErr == nil {
+			e.ckptErr = err
+		}
+	}
+}
+
+// restore rebuilds the search from a snapshot: validates the options
+// fingerprint, repopulates the visited shards (verifying every entry
+// lands in the shard its hash selects), and decodes the frontier,
+// re-encoding each state to prove the codec round-trips it and checking
+// it against the visited set. It returns the frontier and its depth.
+func (e *explorer) restore(snap *checkpoint.Snapshot) ([]qent, int, error) {
+	if snap.OptionsFP != e.optFP {
+		return nil, 0, fmt.Errorf(
+			"explore: checkpoint was taken under different options\n  checkpoint: %s\n  this run:   %s",
+			snap.Options, e.optSummary)
+	}
+	if len(snap.Shards) != len(e.seen.shards) {
+		return nil, 0, fmt.Errorf("explore: checkpoint has %d shards, this run %d", len(snap.Shards), len(e.seen.shards))
+	}
+	switch {
+	case snap.Audit && !e.seen.audit:
+		return nil, 0, fmt.Errorf("explore: audit-mode checkpoint resumed into a hash-only run")
+	case !snap.Audit && e.seen.audit:
+		if !snap.Degraded {
+			return nil, 0, fmt.Errorf("explore: hash-only checkpoint resumed into an audit-mode run")
+		}
+		// The original audit run was degraded to hash-only by the memory
+		// watchdog; the resumed run continues hash-only.
+		e.seen.dropAudit()
+	}
+	e.degraded = snap.Degraded
+	for i := range snap.Shards {
+		sh := &snap.Shards[i]
+		s := &e.seen.shards[i]
+		for j, h := range sh.Hashes {
+			if int(h>>e.seen.shift) != i {
+				return nil, 0, fmt.Errorf("explore: checkpoint shard %d holds hash %016x belonging to shard %d", i, h, h>>e.seen.shift)
+			}
+			if _, dup := s.recs[h]; dup {
+				return nil, 0, fmt.Errorf("explore: checkpoint shard %d holds duplicate hash %016x", i, h)
+			}
+			s.recs[h] = rec{parent: sh.Parents[j], eidx: sh.EIdxs[j]}
+			s.bytes += recBytes
+			if e.seen.audit {
+				s.fps[h] = string(sh.FPs[j])
+				s.bytes += int64(16 + len(sh.FPs[j]))
+			}
+		}
+	}
+	if _, ok := e.seen.lookup(e.initHash); !ok {
+		return nil, 0, fmt.Errorf("explore: checkpoint visited set does not contain the initial state")
+	}
+	layer := make([]qent, 0, len(snap.Frontier))
+	var scratch []byte
+	for i, enc := range snap.Frontier {
+		st, rest, err := e.m.DecodeState(enc)
+		if err != nil {
+			return nil, 0, fmt.Errorf("explore: checkpoint frontier state %d: %w", i, err)
+		}
+		if len(rest) != 0 {
+			return nil, 0, fmt.Errorf("explore: checkpoint frontier state %d: %d trailing bytes", i, len(rest))
+		}
+		scratch = e.m.EncodeState(scratch[:0], st)
+		if !bytes.Equal(scratch, enc) {
+			return nil, 0, fmt.Errorf("explore: checkpoint frontier state %d does not round-trip", i)
+		}
+		scratch = e.fp(scratch[:0], st)
+		h := gcmodel.Hash64(scratch)
+		if _, ok := e.seen.lookup(h); !ok {
+			return nil, 0, fmt.Errorf("explore: checkpoint frontier state %d (%016x) missing from visited set", i, h)
+		}
+		layer = append(layer, qent{state: st, hash: h})
+	}
+	e.states.Store(snap.States)
+	e.transitions.Store(snap.Transitions)
+	e.ample.Store(snap.Ample)
+	e.deadlocks.Store(snap.Deadlocks)
+	e.lastReport.Store(snap.States)
+	e.checkpoints = snap.Checkpoints
+	return layer, snap.Depth, nil
 }
 
 // expandLayer expands every state of the depth-d layer and returns the
@@ -431,6 +871,7 @@ func (e *explorer) collect(res *Result) {
 // deterministic minimum over the whole layer and the state/transition
 // counts do not depend on worker scheduling.
 func (e *explorer) expandLayer(layer []qent, depth int) []qent {
+	e.frontierLen.Store(int64(len(layer)))
 	k := e.workers
 	if k > len(layer) {
 		k = len(layer)
@@ -441,15 +882,26 @@ func (e *explorer) expandLayer(layer []qent, depth int) []qent {
 	}
 	var cursor atomic.Int64
 	if k == 1 {
-		return e.expandChunks(layer, depth, &cursor, chunk)
+		// The single-worker path gets the same containment as the
+		// goroutine path: a panic poisons the run instead of crashing.
+		var next []qent
+		func() {
+			defer e.contain(0, depth)
+			next = e.expandChunks(layer, depth, &cursor, chunk, 0)
+		}()
+		return next
 	}
 	nexts := make([][]qent, k)
 	var wg sync.WaitGroup
 	for w := 0; w < k; w++ {
 		wg.Add(1)
 		go func(w int) {
+			// Deferred LIFO: contain runs before Done, so the poison and
+			// the structured report are published before the barrier
+			// releases — a panicking worker can never hang the layer.
 			defer wg.Done()
-			nexts[w] = e.expandChunks(layer, depth, &cursor, chunk)
+			defer e.contain(w, depth)
+			nexts[w] = e.expandChunks(layer, depth, &cursor, chunk, w)
 		}(w)
 	}
 	wg.Wait()
@@ -464,10 +916,34 @@ func (e *explorer) expandLayer(layer []qent, depth int) []qent {
 	return next
 }
 
+// contain is deferred around every worker body: it recovers a panic,
+// captures the panicking stack (defers run before unwinding, so the
+// origin frames are present) and the state being expanded, and poisons
+// the run so the other workers drain their claim loops.
+func (e *explorer) contain(w, depth int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	pe := &PanicError{
+		Depth:     depth,
+		StateHash: e.curHash[w].Load(),
+		Value:     r,
+		Stack:     debug.Stack(),
+	}
+	e.panicMu.Lock()
+	if e.panicErr == nil {
+		e.panicErr = pe
+	}
+	e.panicMu.Unlock()
+	e.poisoned.Store(true)
+}
+
 // expandChunks is the worker body: it claims chunks of the current layer
 // from the shared cursor until the layer is drained (or the state cap
-// fires) and returns its share of the next layer.
-func (e *explorer) expandChunks(layer []qent, depth int, cursor *atomic.Int64, chunk int) []qent {
+// fires, or a sibling worker poisons the run) and returns its share of
+// the next layer.
+func (e *explorer) expandChunks(layer []qent, depth int, cursor *atomic.Int64, chunk int, w int) []qent {
 	bp := fpPool.Get().(*[]byte)
 	buf := *bp
 	var next []qent
@@ -484,10 +960,11 @@ claim:
 			hi = len(layer)
 		}
 		for i := lo; i < hi; i++ {
-			if e.capped.Load() {
+			if e.capped.Load() || e.poisoned.Load() {
 				break claim
 			}
 			cur := layer[i]
+			e.curHash[w].Store(cur.hash)
 			var amp gcmodel.Ample
 			if e.opt.Reduce {
 				amp = e.m.AmpleChoice(cur.state)
@@ -509,6 +986,10 @@ claim:
 				deadlocks++
 			}
 		}
+		// Publish the transition total at chunk boundaries so progress
+		// reports see a near-current count mid-layer.
+		e.transitions.Add(transitions)
+		transitions = 0
 	}
 	e.transitions.Add(transitions)
 	e.ample.Add(ample)
@@ -612,7 +1093,13 @@ func (e *explorer) maybeProgress(n int64, depth int) {
 		return
 	}
 	e.progressMu.Lock()
-	e.opt.Progress(int(n), depth)
+	e.opt.Progress(Progress{
+		States:      int(n),
+		Transitions: int(e.transitions.Load()),
+		Depth:       depth,
+		Frontier:    int(e.frontierLen.Load()),
+		Elapsed:     time.Since(e.start),
+	})
 	e.progressMu.Unlock()
 }
 

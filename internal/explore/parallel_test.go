@@ -171,7 +171,7 @@ func TestProgressMonotonic(t *testing.T) {
 		Workers:       1,
 		HashOnly:      true,
 		ProgressEvery: every,
-		Progress:      func(states, depth int) { reports = append(reports, states) },
+		Progress:      func(p Progress) { reports = append(reports, p.States) },
 	})
 	if len(reports) < res.States/every-1 {
 		t.Fatalf("only %d reports for %d states at interval %d", len(reports), res.States, every)

@@ -1,0 +1,227 @@
+package gcmodel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cimp"
+	"repro/internal/heap"
+)
+
+// This file makes the canonical fingerprint encoding a full state codec.
+// AppendFingerprint (fingerprint.go, state.go) already writes every field
+// of every process — frame stacks as command-index identities, local data
+// field by field — so the encoding is invertible given the model: the
+// command index resolves stack identities back to program nodes and the
+// configuration fixes the universe, field count, and process count. The
+// checkpoint layer (package checkpoint, wired by package explore) uses
+// this to serialize BFS frontier states and rebuild them on resume.
+//
+// The decoder never panics on malformed input: checkpoints are untrusted
+// bytes, and corruption must surface as a section-named load error, not
+// a crash. Resumed states are additionally re-encoded and hash-checked
+// by the caller, so a decode that succeeds on tampered input but yields
+// the wrong state cannot survive.
+
+// EncodeState appends the serialized form of st to dst. The encoding is
+// exactly the canonical fingerprint (AppendFingerprint); the alias
+// exists to make call sites that persist states self-documenting.
+func (m *Model) EncodeState(dst []byte, st cimp.System[*Local]) []byte {
+	return m.AppendFingerprint(dst, st)
+}
+
+// DecodeState decodes one system state encoded by EncodeState (equally:
+// by AppendFingerprint), returning the state and the remaining bytes.
+func (m *Model) DecodeState(data []byte) (cimp.System[*Local], []byte, error) {
+	nproc := m.NProcs()
+	st := cimp.System[*Local]{Procs: make([]cimp.Config[*Local], nproc)}
+	var err error
+	for p := 0; p < nproc; p++ {
+		var stack []cimp.Com[*Local]
+		stack, data, err = m.Index.DecodeStack(data)
+		if err != nil {
+			return cimp.System[*Local]{}, nil, fmt.Errorf("gcmodel: proc %d: %w", p, err)
+		}
+		var l *Local
+		l, data, err = m.decodeLocal(data, cimp.PID(p))
+		if err != nil {
+			return cimp.System[*Local]{}, nil, fmt.Errorf("gcmodel: proc %d: %w", p, err)
+		}
+		st.Procs[p] = cimp.Config[*Local]{Stack: stack, Data: l}
+	}
+	return st, data, nil
+}
+
+// decodeLocal decodes one process's data state. The role tag must match
+// the process position: the collector is PID 0, the system is the last
+// PID, mutators are in between (model.go).
+func (m *Model) decodeLocal(data []byte, self cimp.PID) (*Local, []byte, error) {
+	d := decoder{buf: data}
+	if len(d.buf) == 0 {
+		return nil, nil, fmt.Errorf("truncated at role tag")
+	}
+	tag := d.buf[0]
+	d.buf = d.buf[1:]
+
+	want := byte('M')
+	switch {
+	case self == GCPID:
+		want = 'G'
+	case self == m.SysPID():
+		want = 'S'
+	}
+	if tag != want {
+		return nil, nil, fmt.Errorf("role tag %q where %q expected", tag, want)
+	}
+
+	l := &Local{Self: self}
+	switch tag {
+	case 'M':
+		mu := &MutLocal{}
+		mu.Roots = heap.RefSet(d.uvarint())
+		mu.WM = heap.RefSet(d.uvarint())
+		mu.MRef = heap.Ref(d.varint())
+		bs := d.bools(6)
+		if d.err == nil {
+			mu.MFM, mu.MFlag, mu.Winner, mu.InMark, mu.InMarkDel, mu.RootsDone =
+				bs[0], bs[1], bs[2], bs[3], bs[4], bs[5]
+		}
+		mu.MPhase = Phase(d.varint())
+		mu.SSrc = heap.Ref(d.varint())
+		mu.SFld = heap.Field(d.varint())
+		mu.SDst = heap.Ref(d.varint())
+		mu.TmpRef = heap.Ref(d.varint())
+		mu.PendRoots = heap.RefSet(d.uvarint())
+		mu.OpsLeft = int(d.varint())
+		hb := d.bools(1)
+		if d.err == nil {
+			mu.HSP = hb[0]
+		}
+		mu.HSTy = HSType(d.varint())
+		mu.HSTag = RoundTag(d.varint())
+		mu.GHG = heap.Ref(d.varint())
+		mu.HP = HandshakePhase(d.varint())
+		l.Mut = mu
+	case 'G':
+		g := &GCLocal{}
+		g.W = heap.RefSet(d.uvarint())
+		bs := d.bools(7)
+		if d.err == nil {
+			g.FM, g.FA, g.MFM, g.MFlag, g.Winner, g.SwFlag, g.InMark =
+				bs[0], bs[1], bs[2], bs[3], bs[4], bs[5], bs[6]
+		}
+		g.Phase = Phase(d.varint())
+		g.MRef = heap.Ref(d.varint())
+		g.MPhase = Phase(d.varint())
+		g.Src = heap.Ref(d.varint())
+		g.FldIdx = int(d.varint())
+		g.TmpRef = heap.Ref(d.varint())
+		g.Sweep = heap.RefSet(d.uvarint())
+		g.SwRef = heap.Ref(d.varint())
+		g.MutIdx = int(d.varint())
+		g.GHG = heap.Ref(d.varint())
+		l.GC = g
+	case 'S':
+		s := &SysLocal{}
+		var err error
+		s.Heap, d.buf, err = heap.DecodeFingerprint(d.buf, m.Cfg.NRefs, m.Cfg.NFields)
+		if err != nil {
+			return nil, nil, err
+		}
+		bs := d.bools(2)
+		if d.err == nil {
+			s.FA, s.FM = bs[0], bs[1]
+		}
+		s.Phase = Phase(d.varint())
+		s.Lock = cimp.PID(d.varint())
+		nproc := m.NProcs()
+		s.Bufs = make([][]WAct, nproc)
+		for p := 0; p < nproc && d.err == nil; p++ {
+			n := d.uvarint()
+			if n > 1<<16 {
+				d.fail(fmt.Errorf("store buffer %d claims %d entries", p, n))
+				break
+			}
+			for i := uint64(0); i < n; i++ {
+				w := WAct{
+					Loc: Loc{
+						Kind: LocKind(d.varint()),
+						R:    heap.Ref(d.varint()),
+						F:    heap.Field(d.varint()),
+					},
+					Val: Val(d.varint()),
+				}
+				s.Bufs[p] = append(s.Bufs[p], w)
+			}
+		}
+		s.HSType = HSType(d.varint())
+		s.Tag = RoundTag(d.varint())
+		pb := d.bools(m.Cfg.NMutators)
+		if d.err == nil {
+			s.Pending = append([]bool(nil), pb...)
+		}
+		s.W = heap.RefSet(d.uvarint())
+		l.Sys = s
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return l, d.buf, nil
+}
+
+// decoder reads varint-packed fields, latching the first error so call
+// sites can decode a whole record before checking.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.buf)
+	if k <= 0 {
+		d.fail(fmt.Errorf("truncated uvarint"))
+		return 0
+	}
+	d.buf = d.buf[k:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Varint(d.buf)
+	if k <= 0 {
+		d.fail(fmt.Errorf("truncated varint"))
+		return 0
+	}
+	d.buf = d.buf[k:]
+	return v
+}
+
+// bools unpacks n booleans packed by appendBools (8 per byte).
+func (d *decoder) bools(n int) []bool {
+	if d.err != nil {
+		return make([]bool, n)
+	}
+	nb := (n + 7) / 8
+	if len(d.buf) < nb {
+		d.fail(fmt.Errorf("truncated bool block (%d of %d bytes)", len(d.buf), nb))
+		return make([]bool, n)
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.buf[i/8]&(1<<uint(i%8)) != 0
+	}
+	d.buf = d.buf[nb:]
+	return out
+}

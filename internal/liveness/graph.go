@@ -1,7 +1,10 @@
 package liveness
 
 import (
+	"time"
+
 	"repro/internal/cimp"
+	"repro/internal/explore"
 	"repro/internal/gcmodel"
 )
 
@@ -41,6 +44,7 @@ type graph struct {
 	transitions int
 	maxDepth    int
 	complete    bool
+	stopped     explore.StopReason
 }
 
 // bytes is the payload memory retained by the graph arrays.
@@ -59,7 +63,7 @@ func (g *graph) outEdges(u int32) (int32, int32) {
 // transition relation and returns the materialized graph. Node ids and
 // edge order are deterministic: BFS discovery order over the
 // deterministic successor enumeration.
-func buildGraph(m *gcmodel.Model, props []Property, ents entities, opt Options) *graph {
+func buildGraph(m *gcmodel.Model, props []Property, ents entities, opt Options, start time.Time) *graph {
 	g := &graph{m: m, ents: ents}
 	every := opt.ProgressEvery
 	if every <= 0 {
@@ -97,7 +101,12 @@ func buildGraph(m *gcmodel.Model, props []Property, ents entities, opt Options) 
 			g.maxDepth = int(d)
 		}
 		if opt.Progress != nil && id%int32(every) == 0 {
-			opt.Progress(int(id)+1, int(d))
+			opt.Progress(explore.Progress{
+				States:      int(id) + 1,
+				Transitions: g.transitions,
+				Depth:       int(d),
+				Elapsed:     time.Since(start),
+			})
 		}
 		return id
 	}
@@ -109,13 +118,25 @@ func buildGraph(m *gcmodel.Model, props []Property, ents entities, opt Options) 
 
 	capped := false
 	depthCut := false
+	interrupted := false
 	for u := int32(0); int(u) < len(g.hash); u++ {
 		g.estart = append(g.estart, int32(len(g.eto)))
 		su := states[u]
 		states[u] = gcmodel.SysState{}
-		if opt.MaxDepth > 0 && int(g.depth[u]) >= opt.MaxDepth {
+		// Cancellation is observed every 1024 expansions; once seen, the
+		// remaining discovered nodes are closed out unexpanded (like
+		// depth-cut nodes: no out-edges, so no cycle passes through
+		// them), keeping the CSR arrays consistent for a partial check.
+		if opt.Context != nil && u%1024 == 0 && !interrupted {
+			select {
+			case <-opt.Context.Done():
+				interrupted = true
+			default:
+			}
+		}
+		if interrupted || (opt.MaxDepth > 0 && int(g.depth[u]) >= opt.MaxDepth) {
 			g.en = append(g.en, 0)
-			depthCut = true
+			depthCut = depthCut || !interrupted
 			continue
 		}
 		var en uint64
@@ -150,9 +171,22 @@ func buildGraph(m *gcmodel.Model, props []Property, ents entities, opt Options) 
 		g.en = append(g.en, en)
 	}
 	g.estart = append(g.estart, int32(len(g.eto))) // sentinel
-	g.complete = !capped && !depthCut
+	g.complete = !capped && !depthCut && !interrupted
+	switch {
+	case interrupted:
+		g.stopped = explore.StopInterrupted
+	case capped:
+		g.stopped = explore.StopMaxStates
+	case depthCut:
+		g.stopped = explore.StopMaxDepth
+	}
 	if opt.Progress != nil {
-		opt.Progress(len(g.hash), g.maxDepth)
+		opt.Progress(explore.Progress{
+			States:      len(g.hash),
+			Transitions: g.transitions,
+			Depth:       g.maxDepth,
+			Elapsed:     time.Since(start),
+		})
 	}
 	return g
 }

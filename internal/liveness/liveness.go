@@ -70,10 +70,12 @@
 package liveness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cimp"
+	"repro/internal/explore"
 	"repro/internal/gcmodel"
 )
 
@@ -167,15 +169,23 @@ type Options struct {
 	// MaxDepth caps the BFS depth (0 = no cap); states at MaxDepth are
 	// kept as nodes but not expanded.
 	MaxDepth int
-	// Progress, if non-nil, receives (states, depth) roughly every
+	// Progress, if non-nil, receives a report roughly every
 	// ProgressEvery newly discovered states.
-	Progress func(states, depth int)
+	Progress func(explore.Progress)
 	// ProgressEvery is the number of new states between Progress calls
 	// (0 = 8192).
 	ProgressEvery int
 	// Properties selects the progress properties to check (nil =
 	// All(m)).
 	Properties []Property
+	// Context, if non-nil, requests graceful interruption of the graph
+	// materialization: on cancellation the builder stops expanding,
+	// closes the graph consistently (unexpanded nodes keep no out-edges,
+	// so no cycle is fabricated), and the check runs on the partial
+	// graph. Violations found are real; clean verdicts on an interrupted
+	// run are inconclusive (Result.Complete false, Result.Stopped
+	// "interrupted").
+	Context context.Context
 }
 
 // PropertyResult is the verdict for one property.
@@ -201,6 +211,9 @@ type Result struct {
 	// Complete reports that the full reachable graph was materialized
 	// within the caps, making clean verdicts conclusive.
 	Complete bool
+	// Stopped says why materialization ended early (explore.StopNone
+	// for a complete graph): max-states, max-depth, or interrupted.
+	Stopped explore.StopReason
 	// GraphBytes is the payload memory retained by the state graph
 	// (node and edge arrays; Go map overhead excluded).
 	GraphBytes int64
@@ -250,12 +263,13 @@ func Check(m *gcmodel.Model, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("liveness: %d mutators exceed the fairness-entity limit", m.Cfg.NMutators)
 	}
 
-	g := buildGraph(m, props, ents, opt)
+	g := buildGraph(m, props, ents, opt, start)
 	res := Result{
 		States:      len(g.hash),
 		Transitions: g.transitions,
 		Depth:       g.maxDepth,
 		Complete:    g.complete,
+		Stopped:     g.stopped,
 		GraphBytes:  g.bytes(),
 	}
 	for i, p := range props {

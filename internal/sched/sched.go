@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -28,13 +29,19 @@ type Options struct {
 	// progress regardless because mutators spend most transitions
 	// blocked on handshakes at cycle boundaries.
 	Bias int
+	// Context, when non-nil, interrupts the walk between steps. An
+	// interrupted walk reports the steps taken so far with
+	// Result.Interrupted set; a violation found before the interruption
+	// is still reported.
+	Context context.Context
 }
 
 // Result summarizes a walk.
 type Result struct {
-	Steps     int
-	Cycles    int // collector cycles completed (observed phase Idle→non-Idle edges)
-	Violation *invariant.Failure
+	Steps       int
+	Cycles      int // collector cycles completed (observed phase Idle→non-Idle edges)
+	Violation   *invariant.Failure
+	Interrupted bool // the walk was cut short by Options.Context
 }
 
 // Walk performs a seeded random walk over the model's transition system.
@@ -56,6 +63,14 @@ func Walk(m *gcmodel.Model, checks []invariant.Check, opt Options) Result {
 		ev   cimp.Event
 	}
 	for i := 0; i < opt.Steps; i++ {
+		if opt.Context != nil && i%256 == 0 {
+			select {
+			case <-opt.Context.Done():
+				res.Interrupted = true
+				return res
+			default:
+			}
+		}
 		var cands []cand
 		m.Successors(st, func(n cimp.System[*gcmodel.Local], ev cimp.Event) {
 			w := 1

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gcmodel"
@@ -81,6 +82,27 @@ func TestWalkCheckEveryReducesChecks(t *testing.T) {
 	res := Walk(m, invariant.All(), Options{Seed: 3, Steps: 10_000, CheckEvery: 64})
 	if res.Violation != nil {
 		t.Fatalf("violation: %v", res.Violation)
+	}
+}
+
+func TestWalkInterrupted(t *testing.T) {
+	m := model(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Walk(m, invariant.All(), Options{Seed: 1, Steps: 30_000, Context: ctx})
+	if !res.Interrupted {
+		t.Fatal("cancelled walk not marked interrupted")
+	}
+	if res.Steps >= 30_000 {
+		t.Fatalf("cancelled walk ran all %d steps", res.Steps)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	// A nil context never interrupts.
+	res = Walk(m, nil, Options{Seed: 1, Steps: 1_000})
+	if res.Interrupted || res.Steps != 1_000 {
+		t.Fatalf("nil-context walk: interrupted=%v steps=%d", res.Interrupted, res.Steps)
 	}
 }
 
