@@ -1,0 +1,214 @@
+// gcrt-bench measures the runtime kernel and writes BENCH_gcrt.json:
+// allocation throughput (TLAB vs. the seed's shared free-list path),
+// handshake latency (p50/p99), and collection-cycle time, each across a
+// range of mutator counts. EXPERIMENTS.md E21 tracks the numbers; CI
+// uploads the file as an artifact.
+//
+// Usage:
+//
+//	gcrt-bench -out BENCH_gcrt.json -rounds 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gcrt"
+)
+
+// allocResult is one allocation-throughput measurement: every mutator
+// drains a fresh arena as fast as it can; ops/sec is total allocations
+// over wall time, best of -rounds.
+type allocResult struct {
+	Mutators     int     `json:"mutators"`
+	TLABOpsSec   float64 `json:"tlab_ops_per_sec"`
+	LegacyOpsSec float64 `json:"legacy_ops_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// cycleResult is one collection-pressure measurement: mutators churn a
+// live graph at safe-point cadence while full cycles run.
+type cycleResult struct {
+	Mutators       int     `json:"mutators"`
+	Cycles         int64   `json:"cycles"`
+	HandshakeP50Ns int64   `json:"handshake_p50_ns"`
+	HandshakeP99Ns int64   `json:"handshake_p99_ns"`
+	CycleMsAvg     float64 `json:"cycle_ms_avg"`
+	AllocOpsSec    float64 `json:"alloc_ops_per_sec"`
+}
+
+type report struct {
+	Bench      string        `json:"bench"`
+	Date       string        `json:"date"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	SlotsPerM  int           `json:"slots_per_mutator"`
+	Alloc      []allocResult `json:"alloc_throughput"`
+	Cycle      []cycleResult `json:"collection"`
+}
+
+// drainArena times how long mutators take to allocate every slot of a
+// fresh arena and returns allocations per second.
+func drainArena(nmut, perMut int, legacy bool) float64 {
+	rt := gcrt.New(gcrt.Options{
+		Slots: nmut * perMut, Fields: 1, Mutators: nmut,
+		LegacyAlloc: legacy,
+	})
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	start := time.Now()
+	for i := 0; i < nmut; i++ {
+		m := rt.Mutator(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for m.Alloc() >= 0 {
+				n++
+				if n%1024 == 0 {
+					runtime.Gosched() // share the P on small GOMAXPROCS
+				}
+			}
+			total.Add(int64(n))
+		}()
+	}
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
+}
+
+func bestOf(rounds int, f func() float64) float64 {
+	best := 0.0
+	for r := 0; r < rounds; r++ {
+		if v := f(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// churnCycles runs full collections against churning mutators and
+// reports handshake/cycle latency from the runtime's own histograms.
+func churnCycles(nmut, perMut, cycles int) cycleResult {
+	rt := gcrt.New(gcrt.Options{Slots: nmut * perMut, Fields: 2, Mutators: nmut})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var allocs atomic.Int64
+	start := time.Now()
+	for i := 0; i < nmut; i++ {
+		m := rt.Mutator(i)
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := 0
+			for !stop.Load() {
+				nr := m.NumRoots()
+				switch {
+				case nr < 4:
+					if m.Alloc() >= 0 {
+						n++
+					}
+				case nr > 32:
+					m.Discard(rng.Intn(nr))
+				default:
+					switch rng.Intn(4) {
+					case 0:
+						if m.Alloc() >= 0 {
+							n++
+						}
+					case 1:
+						m.Load(rng.Intn(nr), rng.Intn(2))
+					case 2:
+						dst := rng.Intn(nr)
+						if rng.Intn(4) == 0 {
+							dst = -1
+						}
+						m.Store(rng.Intn(nr), rng.Intn(2), dst)
+					default:
+						m.Discard(rng.Intn(nr))
+					}
+				}
+				m.SafePoint()
+				runtime.Gosched()
+			}
+			m.Park()
+			allocs.Add(int64(n))
+		}(int64(i) + 1)
+	}
+	for c := 0; c < cycles; c++ {
+		rt.Collect()
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := rt.Stats()
+	return cycleResult{
+		Mutators:       nmut,
+		Cycles:         s.Cycles,
+		HandshakeP50Ns: s.HandshakeP50.Nanoseconds(),
+		HandshakeP99Ns: s.HandshakeP99.Nanoseconds(),
+		CycleMsAvg:     s.CycleTime.Seconds() * 1e3 / float64(s.Cycles),
+		AllocOpsSec:    float64(allocs.Load()) / elapsed.Seconds(),
+	}
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_gcrt.json", "output file")
+		rounds  = flag.Int("rounds", 3, "rounds per allocation measurement (best kept)")
+		perMut  = flag.Int("slots-per-mutator", 4096, "arena slots per mutator")
+		cycles  = flag.Int("cycles", 20, "collection cycles per pressure measurement")
+		mutList = []int{1, 4, 8, 16}
+	)
+	flag.Parse()
+
+	rep := report{
+		Bench:      "gcrt",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SlotsPerM:  *perMut,
+	}
+
+	for _, nmut := range mutList {
+		tlab := bestOf(*rounds, func() float64 { return drainArena(nmut, *perMut, false) })
+		legacy := bestOf(*rounds, func() float64 { return drainArena(nmut, *perMut, true) })
+		r := allocResult{
+			Mutators:     nmut,
+			TLABOpsSec:   tlab,
+			LegacyOpsSec: legacy,
+			Speedup:      tlab / legacy,
+		}
+		rep.Alloc = append(rep.Alloc, r)
+		fmt.Printf("alloc m=%-2d tlab=%.2fM/s legacy=%.2fM/s speedup=%.2fx\n",
+			nmut, tlab/1e6, legacy/1e6, r.Speedup)
+	}
+
+	for _, nmut := range mutList {
+		r := churnCycles(nmut, *perMut, *cycles)
+		rep.Cycle = append(rep.Cycle, r)
+		fmt.Printf("cycle m=%-2d hsP50=%s hsP99=%s cycle=%.2fms alloc=%.2fM/s\n",
+			nmut, time.Duration(r.HandshakeP50Ns), time.Duration(r.HandshakeP99Ns),
+			r.CycleMsAvg, r.AllocOpsSec/1e6)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcrt-bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "gcrt-bench:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Println("wrote", *out)
+}

@@ -1,10 +1,16 @@
 // gcrt-demo drives the executable collector kernel: mutator goroutines
 // churn a shared arena while the collector cycles on-the-fly, and the
-// demo reports reclamation and barrier statistics.
+// demo reports reclamation, barrier, and handshake-latency statistics.
+//
+// With -shape it runs one of the adversarial workload generators
+// (deeplist, widetree, cycles, churn, pipeline) with the online
+// invariant oracle attached; without it, a simple random churn loop.
 //
 // Usage:
 //
 //	gcrt-demo -mutators 4 -slots 4096 -cycles 20
+//	gcrt-demo -shape churn -seed 7 -oracle
+//	gcrt-demo -shape deeplist -no-deletion-barrier -oracle   # expect findings
 package main
 
 import (
@@ -12,26 +18,49 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/gcrt"
+	"repro/internal/gcrt/workload"
 )
 
 func main() {
 	var (
-		nMut   = flag.Int("mutators", 4, "mutator goroutines")
-		slots  = flag.Int("slots", 4096, "arena slots")
-		fields = flag.Int("fields", 2, "fields per object")
-		cycles = flag.Int("cycles", 20, "collection cycles to run")
-		noDel  = flag.Bool("no-deletion-barrier", false, "ablate the deletion barrier (expect faults)")
-		noIns  = flag.Bool("no-insertion-barrier", false, "ablate the insertion barrier")
+		nMut    = flag.Int("mutators", 4, "mutator goroutines")
+		slots   = flag.Int("slots", 4096, "arena slots")
+		fields  = flag.Int("fields", 2, "fields per object")
+		cycles  = flag.Int("cycles", 20, "collection cycles to run")
+		workers = flag.Int("mark-workers", 1, "parallel tracing workers (work-stealing deques)")
+		shape   = flag.String("shape", "", "workload shape: deeplist|widetree|cycles|churn|pipeline (empty = simple churn loop)")
+		seed    = flag.Int64("seed", 1, "workload generator seed")
+		oracle  = flag.Bool("oracle", false, "attach the online invariant oracle (implied by -shape)")
+		noDel   = flag.Bool("no-deletion-barrier", false, "ablate the deletion barrier (expect faults/findings)")
+		noIns   = flag.Bool("no-insertion-barrier", false, "ablate the insertion barrier")
+		allocW  = flag.Bool("alloc-white", false, "ablate black allocation (allocate unmarked in every phase)")
+		legacy  = flag.Bool("legacy-alloc", false, "use the seed's shared free-list allocator instead of TLABs")
 	)
 	flag.Parse()
 
-	rt := core.NewRuntime(core.RuntimeOptions{
+	opt := gcrt.Options{
 		Slots: *slots, Fields: *fields, Mutators: *nMut,
-		NoDeletionBarrier: *noDel, NoInsertionBarrier: *noIns,
-	})
+		MarkWorkers:        *workers,
+		NoDeletionBarrier:  *noDel,
+		NoInsertionBarrier: *noIns,
+		AllocWhite:         *allocW,
+		LegacyAlloc:        *legacy,
+	}
+
+	if *shape != "" {
+		runWorkload(*shape, *seed, *cycles, *nMut, *slots, *fields, opt)
+		return
+	}
+
+	rt := gcrt.New(opt)
+	var o *gcrt.Oracle
+	if *oracle {
+		o = rt.EnableOracle(gcrt.OracleOptions{SampleEvery: 1})
+	}
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -79,6 +108,9 @@ func main() {
 					}
 				}
 				m.SafePoint()
+				// Yield so the collector advances between handshake rounds
+				// even on GOMAXPROCS=1 (cf. the workload interpreter).
+				runtime.Gosched()
 			}
 		}(i)
 	}
@@ -87,16 +119,66 @@ func main() {
 		freed := rt.Collect()
 		fmt.Printf("cycle %2d: freed %4d, live %4d/%d\n",
 			c+1, freed, rt.Arena().LiveCount(), *slots)
+		if o != nil {
+			rt.Audit()
+		}
 	}
 	close(stop)
 	wg.Wait()
 
-	s := rt.Stats()
 	fmt.Println()
-	fmt.Println("stats:", s)
+	fmt.Println("stats:", rt.Stats())
+	fail := false
 	if f := rt.Arena().Faults.Load(); f > 0 {
 		fmt.Printf("LOST OBJECTS: %d dead-slot accesses — the ablated collector freed reachable objects\n", f)
+		fail = true
+	}
+	if o != nil && o.FindingCount() > 0 {
+		fmt.Printf("ORACLE FINDINGS: %d (%v)\n", o.FindingCount(), o.CountByCheck())
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 	fmt.Println("no lost objects: every reachable object survived every cycle")
+}
+
+// runWorkload runs one adversarial workload shape with the oracle
+// attached and reports the outcome.
+func runWorkload(name string, seed int64, cycles, nMut, slots, fields int, opt gcrt.Options) {
+	var shape workload.Shape
+	found := false
+	for _, s := range workload.Shapes {
+		if s.String() == name {
+			shape, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "gcrt-demo: unknown shape %q\n", name)
+		os.Exit(2)
+	}
+
+	res := workload.Run(workload.Config{
+		Shape:    shape,
+		Mutators: nMut,
+		Slots:    slots,
+		Fields:   fields,
+		Seed:     seed,
+		Cycles:   cycles,
+		Runtime:  opt,
+		Oracle:   gcrt.OracleOptions{SampleEvery: 1},
+	})
+
+	fmt.Printf("shape=%s seed=%d mutators=%d cycles=%d\n", shape, seed, nMut, cycles)
+	fmt.Printf("ops=%d checks=%d\n", res.Ops, res.Checks)
+	fmt.Println("stats:", res.Stats)
+	if res.Clean() {
+		fmt.Println("clean: zero oracle findings, zero arena faults")
+		return
+	}
+	fmt.Printf("findings=%d byCheck=%v faults=%d\n", res.Findings, res.ByCheck, res.Faults)
+	for _, f := range res.Details {
+		fmt.Println("  ", f)
+	}
+	os.Exit(1)
 }

@@ -19,10 +19,20 @@
 // root-marking and mark-loop-termination handshakes, the Figure 5 mark
 // with its CAS-only-on-race fast path, and the Figure 6 mutator
 // operations with deletion and insertion barriers.
+//
+// On top of the verified protocol, the allocator and tracer are built
+// for scale: the free list is sharded (per-shard locks), mutators
+// allocate from private TLAB-style reservations (tlab.go), barrier
+// targets batch in per-mutator buffers drained at handshakes
+// (barrier.go), and parallel tracing runs over per-worker work-stealing
+// deques (deque.go, parallel.go). None of these change the protocol:
+// the phase ladder, the handshake discipline and the marking CAS are
+// exactly the verified ones.
 package gcrt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -39,17 +49,27 @@ const (
 	hdrAlloc uint32 = 1 << 1 // the slot holds a live object
 )
 
+// freeShard is one shard of the free list. Padding keeps two shards'
+// locks off the same cache line under contention.
+type freeShard struct {
+	mu   sync.Mutex
+	free []Obj
+	_    [32]byte
+}
+
 // Arena is the simulated heap: a fixed pool of object slots, each with a
 // header word (mark flag + allocated bit) and a fixed number of
-// reference fields.
+// reference fields. Free slots live on sharded free lists: slot i
+// belongs to shard i mod nshards, so concurrent allocators and the
+// sweep contend on different locks.
 type Arena struct {
 	nslots  int
 	nfields int
 	headers []atomic.Uint32
 	fields  []atomic.Int32 // slot i's fields at [i*nfields, (i+1)*nfields)
 
-	freeMu sync.Mutex
-	free   []Obj
+	shards []freeShard
+	smask  uint32 // len(shards)-1; len is a power of two
 
 	// Faults counts accesses to unallocated slots — the observable
 	// consequence of a lost object. Zero in the verified configuration;
@@ -58,17 +78,41 @@ type Arena struct {
 }
 
 // NewArena creates an arena of nslots objects with nfields reference
-// fields each.
+// fields each, with the free list sharded by GOMAXPROCS.
 func NewArena(nslots, nfields int) *Arena {
+	return NewArenaSharded(nslots, nfields, 0)
+}
+
+// NewArenaSharded creates an arena with an explicit free-list shard
+// count (rounded up to a power of two; 0 picks a default from
+// GOMAXPROCS, 1 reproduces the seed's single global free list).
+func NewArenaSharded(nslots, nfields, nshards int) *Arena {
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+		if nshards > 64 {
+			nshards = 64
+		}
+	}
+	pow := 1
+	for pow < nshards {
+		pow <<= 1
+	}
+	nshards = pow
 	a := &Arena{
 		nslots:  nslots,
 		nfields: nfields,
 		headers: make([]atomic.Uint32, nslots),
 		fields:  make([]atomic.Int32, nslots*nfields),
-		free:    make([]Obj, 0, nslots),
+		shards:  make([]freeShard, nshards),
+		smask:   uint32(nshards - 1),
 	}
+	for s := range a.shards {
+		a.shards[s].free = make([]Obj, 0, nslots/nshards+1)
+	}
+	// High slots first within each shard, matching the seed's LIFO order.
 	for i := nslots - 1; i >= 0; i-- {
-		a.free = append(a.free, Obj(i))
+		s := uint32(i) & a.smask
+		a.shards[s].free = append(a.shards[s].free, Obj(i))
 	}
 	return a
 }
@@ -78,6 +122,9 @@ func (a *Arena) NumSlots() int { return a.nslots }
 
 // NumFields reports the per-object field count.
 func (a *Arena) NumFields() int { return a.nfields }
+
+// NumShards reports the free-list shard count.
+func (a *Arena) NumShards() int { return len(a.shards) }
 
 // Allocated reports whether the slot holds a live object.
 func (a *Arena) Allocated(o Obj) bool {
@@ -96,6 +143,13 @@ func (a *Arena) LoadField(o Obj, f int) Obj {
 	if !a.Allocated(o) {
 		return a.fault()
 	}
+	return Obj(a.fields[int(o)*a.nfields+f].Load())
+}
+
+// peekField reads field f of object o without the allocated check and
+// without recording a fault. The invariant oracle uses it to inspect
+// edges of objects it has already validated.
+func (a *Arena) peekField(o Obj, f int) Obj {
 	return Obj(a.fields[int(o)*a.nfields+f].Load())
 }
 
@@ -138,18 +192,11 @@ func (a *Arena) casFlag(o Obj, old, new bool) bool {
 	}
 }
 
-// alloc pops a free slot, installs a live object with the given flag and
-// NULL fields, and returns it; NilObj when the arena is exhausted.
-func (a *Arena) alloc(flag bool) Obj {
-	a.freeMu.Lock()
-	if len(a.free) == 0 {
-		a.freeMu.Unlock()
-		return NilObj
-	}
-	o := a.free[len(a.free)-1]
-	a.free = a.free[:len(a.free)-1]
-	a.freeMu.Unlock()
-
+// install writes a live header with NULL fields onto a reserved slot.
+// The header store publishes the object; on x86-TSO the initializing
+// field stores drain before any later store that could publish the
+// reference, which is why no fence is needed — the paper's §4 argument.
+func (a *Arena) install(o Obj, flag bool) {
 	base := int(o) * a.nfields
 	for i := 0; i < a.nfields; i++ {
 		a.fields[base+i].Store(int32(NilObj))
@@ -159,15 +206,89 @@ func (a *Arena) alloc(flag bool) Obj {
 		h |= hdrFlag
 	}
 	a.headers[o].Store(h)
-	return o
 }
 
-// release returns a slot to the free list (sweep only).
+// alloc pops a free slot from some shard, installs a live object with
+// the given flag and NULL fields, and returns it; NilObj when every
+// shard is exhausted. This is the seed's global-allocation path; the
+// TLAB path (tlab.go) batches the shard traffic instead.
+func (a *Arena) alloc(flag bool) Obj {
+	for s := range a.shards {
+		sh := &a.shards[s]
+		sh.mu.Lock()
+		if n := len(sh.free); n > 0 {
+			o := sh.free[n-1]
+			sh.free = sh.free[:n-1]
+			sh.mu.Unlock()
+			a.install(o, flag)
+			return o
+		}
+		sh.mu.Unlock()
+	}
+	return NilObj
+}
+
+// reserveBatch moves up to n free slots into dst, preferring the given
+// shard and spilling to the others only when it runs dry. One lock
+// acquisition per visited shard; reserved slots keep a clear header, so
+// they are invisible to the sweep and to LiveCount.
+func (a *Arena) reserveBatch(dst []Obj, prefer, n int) []Obj {
+	ns := len(a.shards)
+	for i := 0; i < ns && len(dst) < n; i++ {
+		sh := &a.shards[(prefer+i)%ns]
+		sh.mu.Lock()
+		for len(dst) < n && len(sh.free) > 0 {
+			o := sh.free[len(sh.free)-1]
+			sh.free = sh.free[:len(sh.free)-1]
+			dst = append(dst, o)
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// returnBatch gives reserved slots back to their home shards.
+func (a *Arena) returnBatch(objs []Obj) {
+	if len(objs) == 0 {
+		return
+	}
+	// Group by shard to take each lock once.
+	for s := range a.shards {
+		sh := &a.shards[s]
+		first := true
+		for _, o := range objs {
+			if uint32(o)&a.smask != uint32(s) {
+				continue
+			}
+			if first {
+				sh.mu.Lock()
+				first = false
+			}
+			sh.free = append(sh.free, o)
+		}
+		if !first {
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// release returns a single slot to its shard's free list (sweep only).
 func (a *Arena) release(o Obj) {
 	a.headers[o].Store(0)
-	a.freeMu.Lock()
-	a.free = append(a.free, o)
-	a.freeMu.Unlock()
+	sh := &a.shards[uint32(o)&a.smask]
+	sh.mu.Lock()
+	sh.free = append(sh.free, o)
+	sh.mu.Unlock()
+}
+
+// releaseBatch clears the headers of the given slots and returns them to
+// their shards, taking each shard lock at most once. The sweep uses it
+// so reclamation costs one lock per shard, not one per object.
+func (a *Arena) releaseBatch(objs []Obj) {
+	for _, o := range objs {
+		a.headers[o].Store(0)
+	}
+	a.returnBatch(objs)
 }
 
 // SetFlagForBenchmark forces o's raw mark flag; benchmarks only.
@@ -201,13 +322,19 @@ func (a *Arena) LiveCount() int {
 	return n
 }
 
-// FreeCount reports the free-list length.
+// FreeCount reports the total free-list length across shards.
 func (a *Arena) FreeCount() int {
-	a.freeMu.Lock()
-	defer a.freeMu.Unlock()
-	return len(a.free)
+	n := 0
+	for s := range a.shards {
+		sh := &a.shards[s]
+		sh.mu.Lock()
+		n += len(sh.free)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 func (a *Arena) String() string {
-	return fmt.Sprintf("arena{slots=%d fields=%d live=%d}", a.nslots, a.nfields, a.LiveCount())
+	return fmt.Sprintf("arena{slots=%d fields=%d shards=%d live=%d}",
+		a.nslots, a.nfields, len(a.shards), a.LiveCount())
 }

@@ -1,0 +1,213 @@
+package gcrt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Barrier-buffer tests: targets accumulate privately during marking,
+// drain exactly at handshakes (the model's MFENCE point) or on
+// overflow, and the deferred marking never loses a snapshot-reachable
+// object. Run with -race.
+
+// driveUntil services safe points on m's goroutine until done closes.
+func driveUntil(m *Mutator, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			m.SafePoint()
+			runtime.Gosched()
+		}
+	}
+}
+
+func TestBarrierBufferFlushesAtHandshake(t *testing.T) {
+	rt := New(Options{Slots: 64, Fields: 1, Mutators: 1, BarrierBuffer: 8})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	b := m.Alloc()
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(4) // PhMark: barriers armed, roots not yet taken
+
+	// b was allocated before the cycle, so it is white now. The
+	// insertion barrier must buffer it — not mark it.
+	m.Store(a, 0, b)
+	if got := m.BarrierBuffered(); got != 1 {
+		t.Fatalf("buffered = %d after one barrier hit, want 1", got)
+	}
+	if rt.arena.flag(m.Root(b)) == rt.fM.Load() {
+		t.Fatal("buffered target was marked before the handshake")
+	}
+	if rt.Stats().BarrierBuffered != 1 {
+		t.Fatalf("stats.BarrierBuffered = %d, want 1", rt.Stats().BarrierBuffered)
+	}
+
+	// The next handshake (HSGetRoots, round 5) drains the buffer before
+	// doing anything else.
+	m.AwaitHandshakes(5)
+	if got := m.BarrierBuffered(); got != 0 {
+		t.Fatalf("buffered = %d after handshake, want 0", got)
+	}
+	if rt.arena.flag(m.Root(b)) != rt.fM.Load() {
+		t.Fatal("handshake flush did not mark the buffered target")
+	}
+	if rt.Stats().BarrierFlushes == 0 {
+		t.Fatal("no flush recorded")
+	}
+
+	driveUntil(m, done)
+}
+
+func TestBarrierBufferOverflowFlushesEarly(t *testing.T) {
+	rt := New(Options{Slots: 64, Fields: 2, Mutators: 1, BarrierBuffer: 2})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	c1 := m.Alloc()
+	c2 := m.Alloc()
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(4)
+
+	m.Store(a, 0, c1) // buffer: [c1]
+	if got := m.BarrierBuffered(); got != 1 {
+		t.Fatalf("buffered = %d, want 1", got)
+	}
+	m.Store(a, 1, c2) // buffer: [c1 c2] -> capacity reached -> flush
+	if got := m.BarrierBuffered(); got != 0 {
+		t.Fatalf("buffered = %d after overflow, want 0 (flushed)", got)
+	}
+	fM := rt.fM.Load()
+	if rt.arena.flag(m.Root(c1)) != fM || rt.arena.flag(m.Root(c2)) != fM {
+		t.Fatal("overflow flush did not mark the buffered targets")
+	}
+	if rt.Stats().BarrierFlushes != 1 {
+		t.Fatalf("flushes = %d, want 1", rt.Stats().BarrierFlushes)
+	}
+
+	driveUntil(m, done)
+}
+
+func TestBarrierUnbufferedMarksImmediately(t *testing.T) {
+	rt := New(Options{Slots: 64, Fields: 1, Mutators: 1, BarrierBuffer: -1})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	b := m.Alloc()
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(4)
+
+	m.Store(a, 0, b)
+	if got := m.BarrierBuffered(); got != 0 {
+		t.Fatalf("unbuffered mode buffered %d targets", got)
+	}
+	if rt.arena.flag(m.Root(b)) != rt.fM.Load() {
+		t.Fatal("unbuffered barrier did not mark immediately")
+	}
+	if rt.Stats().BarrierBuffered != 0 {
+		t.Fatal("unbuffered mode counted buffered targets")
+	}
+
+	driveUntil(m, done)
+}
+
+// TestBarrierBufferSnapshotSurvival: an object whose only heap edge is
+// severed during marking sits solely in the deletion-barrier buffer
+// until the next handshake. It must survive this cycle's sweep
+// (snapshot semantics) and die in the next (floating garbage bound).
+func TestBarrierBufferSnapshotSurvival(t *testing.T) {
+	rt := New(Options{Slots: 64, Fields: 1, Mutators: 1, BarrierBuffer: 8})
+	m := rt.Mutator(0)
+	a := m.Alloc()
+	b := m.Alloc()
+	m.Store(a, 0, b)
+	bObj := m.Root(b)
+	m.Discard(b) // b reachable only through a.0
+
+	done := make(chan struct{})
+	go func() { rt.Collect(); close(done) }()
+	m.AwaitHandshakes(4)
+
+	// Sever the only edge: the deletion barrier buffers bObj; the heap
+	// now has no path to it.
+	m.Store(a, 0, -1)
+	if !m.inBarrierBuf(bObj) {
+		t.Fatal("severed target not in the barrier buffer")
+	}
+
+	driveUntil(m, done)
+	if !rt.arena.Allocated(bObj) {
+		t.Fatal("snapshot-reachable object swept despite buffered barrier record")
+	}
+
+	// Next cycle: nothing references bObj anywhere, so it is collected.
+	done2 := make(chan struct{})
+	go func() { rt.Collect(); close(done2) }()
+	driveUntil(m, done2)
+	if rt.arena.Allocated(bObj) {
+		t.Fatal("floating garbage survived a second cycle")
+	}
+}
+
+// TestBarrierBufferConcurrentChurn: mutators churn edges through small
+// barrier buffers while full collections and oracle audits run; the
+// oracle must find nothing, across GOMAXPROCS settings.
+func TestBarrierBufferConcurrentChurn(t *testing.T) {
+	for _, procs := range []int{2, 8} {
+		procs := procs
+		t.Run(formatProcs(procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+
+			const nmut = 4
+			rt := New(Options{Slots: 4096, Fields: 2, Mutators: nmut, BarrierBuffer: 4})
+			o := rt.EnableOracle(OracleOptions{SampleEvery: 1})
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for i := 0; i < nmut; i++ {
+				m := rt.Mutator(i)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					a := m.Alloc()
+					for a < 0 && !stop.Load() {
+						// Siblings may have churned the arena to exhaustion
+						// before this goroutine got its first slot; service
+						// handshakes so a collection can free garbage.
+						m.SafePoint()
+						runtime.Gosched()
+						a = m.Alloc()
+					}
+					for !stop.Load() {
+						if b := m.Alloc(); b >= 0 {
+							m.Store(a, 0, b)
+							m.Discard(b)
+						}
+						m.SafePoint()
+					}
+				}()
+			}
+
+			for c := 0; c < 4; c++ {
+				rt.Collect()
+				rt.Audit()
+			}
+			stop.Store(true)
+			wg.Wait()
+
+			if n := o.FindingCount(); n != 0 {
+				t.Fatalf("oracle found %d violations in a clean run: %v", n, o.Findings())
+			}
+			if o.Checks() == 0 {
+				t.Fatal("oracle ran zero checks — vacuous pass")
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package gcrt
+
+import "sync/atomic"
+
+// wsDeque is a fixed-capacity Chase–Lev work-stealing deque of object
+// references. The owning worker pushes and pops at the bottom with no
+// synchronization beyond the atomics themselves; thieves steal from the
+// top with a CAS. Go's sync/atomic operations are sequentially
+// consistent, which subsumes the fences the weak-memory formulation of
+// the algorithm needs, so the classic correctness argument applies
+// directly: every pushed element is taken exactly once, either by the
+// owner's pop or by exactly one successful steal.
+//
+// The buffer is fixed-size: a full deque rejects the push and the
+// caller spills to the tracer's shared overflow list (parallel.go).
+// Fixed capacity is what makes the wraparound re-use of a slot safe
+// without epochs: a slot can only be rewritten after top has advanced
+// past it, and a thief whose top observation went stale loses its CAS.
+type wsDeque struct {
+	top    atomic.Int64 // next index to steal (monotonic)
+	_      [56]byte     // keep top and bottom on separate cache lines
+	bottom atomic.Int64 // next index to push (owner-written)
+	_      [56]byte
+	buf    []atomic.Int32
+	mask   int64
+}
+
+// newWSDeque creates a deque with capacity rounded up to a power of two.
+func newWSDeque(capacity int) *wsDeque {
+	pow := 1
+	for pow < capacity {
+		pow <<= 1
+	}
+	return &wsDeque{buf: make([]atomic.Int32, pow), mask: int64(pow - 1)}
+}
+
+// push appends v at the bottom (owner only). Returns false when the
+// deque is full; the caller must spill v elsewhere.
+func (d *wsDeque) push(v Obj) bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t >= int64(len(d.buf)) {
+		return false
+	}
+	d.buf[b&d.mask].Store(int32(v))
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// pop removes the most recently pushed element (owner only). The only
+// synchronization it needs is the CAS against a concurrent thief when
+// exactly one element remains.
+func (d *wsDeque) pop() (Obj, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(t)
+		return NilObj, false
+	}
+	v := Obj(d.buf[b&d.mask].Load())
+	if b > t {
+		return v, true
+	}
+	// Last element: race the thieves for it.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return NilObj, false
+	}
+	return v, true
+}
+
+// steal removes the oldest element (any thread). Returns false when the
+// deque looks empty or the thief lost a race; callers treat both as
+// "try elsewhere".
+func (d *wsDeque) steal() (Obj, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return NilObj, false
+	}
+	v := Obj(d.buf[t&d.mask].Load())
+	if !d.top.CompareAndSwap(t, t+1) {
+		return NilObj, false
+	}
+	return v, true
+}
+
+// size reports a racy estimate of the number of queued elements.
+func (d *wsDeque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

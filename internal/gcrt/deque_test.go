@@ -1,0 +1,192 @@
+package gcrt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The deque tests exercise the Chase–Lev invariant directly: every
+// pushed element is taken exactly once, by the owner's pop or by
+// exactly one successful steal, under concurrent thieves and across
+// GOMAXPROCS settings. Run with -race.
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newWSDeque(8)
+	for i := 1; i <= 5; i++ {
+		if !d.push(Obj(i)) {
+			t.Fatalf("push %d rejected on non-full deque", i)
+		}
+	}
+	for want := 5; want >= 1; want-- {
+		v, ok := d.pop()
+		if !ok || v != Obj(want) {
+			t.Fatalf("pop = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if v, ok := d.pop(); ok {
+		t.Fatalf("pop on empty deque returned %d", v)
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newWSDeque(8)
+	for i := 1; i <= 5; i++ {
+		d.push(Obj(i))
+	}
+	for want := 1; want <= 5; want++ {
+		v, ok := d.steal()
+		if !ok || v != Obj(want) {
+			t.Fatalf("steal = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if v, ok := d.steal(); ok {
+		t.Fatalf("steal on empty deque returned %d", v)
+	}
+}
+
+func TestDequeFullRejectsPush(t *testing.T) {
+	d := newWSDeque(4)
+	for i := 0; i < 4; i++ {
+		if !d.push(Obj(i + 1)) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if d.push(Obj(99)) {
+		t.Fatal("push accepted on a full deque")
+	}
+	// Freeing one slot (from the top, as a thief would) re-enables push.
+	if _, ok := d.steal(); !ok {
+		t.Fatal("steal failed on full deque")
+	}
+	if !d.push(Obj(99)) {
+		t.Fatal("push rejected after a steal freed a slot")
+	}
+}
+
+// TestDequeConservation: one owner interleaves pushes and pops while
+// several thieves steal; every element must be consumed exactly once.
+func TestDequeConservation(t *testing.T) {
+	for _, procs := range []int{2, 4, 8} {
+		procs := procs
+		t.Run(formatProcs(procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+
+			const total = 20000
+			const thieves = 3
+			d := newWSDeque(256)
+			var taken [total + 1]atomic.Int32
+			var consumed atomic.Int64
+			var done atomic.Bool
+
+			take := func(v Obj) {
+				if taken[v].Add(1) != 1 {
+					t.Errorf("element %d taken twice", v)
+				}
+				consumed.Add(1)
+			}
+
+			var wg sync.WaitGroup
+			for i := 0; i < thieves; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !done.Load() || d.size() > 0 {
+						if v, ok := d.steal(); ok {
+							take(v)
+						} else {
+							runtime.Gosched()
+						}
+					}
+				}()
+			}
+
+			// Owner: push everything, popping whenever the deque fills,
+			// and drain the remainder at the end.
+			next := Obj(1)
+			for next <= total {
+				if d.push(next) {
+					next++
+					continue
+				}
+				if v, ok := d.pop(); ok {
+					take(v)
+				}
+			}
+			for {
+				v, ok := d.pop()
+				if !ok {
+					if d.size() == 0 {
+						break
+					}
+					continue // lost the last-element race to a thief
+				}
+				take(v)
+			}
+			done.Store(true)
+			wg.Wait()
+
+			if got := consumed.Load(); got != total {
+				t.Fatalf("consumed %d of %d elements", got, total)
+			}
+			for v := 1; v <= total; v++ {
+				if taken[v].Load() != 1 {
+					t.Fatalf("element %d taken %d times", v, taken[v].Load())
+				}
+			}
+		})
+	}
+}
+
+// TestDequeEmptinessLinearizes: when pop reports empty, a steal that
+// began afterwards must not produce an element the owner also got —
+// i.e. the single remaining element goes to exactly one side.
+func TestDequeLastElementRace(t *testing.T) {
+	const rounds = 5000
+	d := newWSDeque(4)
+	for r := 0; r < rounds; r++ {
+		d.push(Obj(r + 1))
+		var ownerGot, thiefGot atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, ok := d.pop(); ok {
+				ownerGot.Store(true)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, ok := d.steal(); ok {
+				thiefGot.Store(true)
+			}
+		}()
+		wg.Wait()
+		if ownerGot.Load() == thiefGot.Load() {
+			t.Fatalf("round %d: element taken by both or neither (owner=%v thief=%v)",
+				r, ownerGot.Load(), thiefGot.Load())
+		}
+		if d.size() != 0 {
+			t.Fatalf("round %d: deque not empty after the race", r)
+		}
+	}
+}
+
+func formatProcs(p int) string {
+	return "procs=" + itoa(p)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

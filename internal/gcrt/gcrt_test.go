@@ -341,7 +341,9 @@ func TestConcurrentStress(t *testing.T) {
 }
 
 func TestMarkFastPathSkipsCAS(t *testing.T) {
-	rt := New(Options{Slots: 8, Fields: 1, Mutators: 1})
+	// BarrierBuffer < 0 disables barrier buffering so barrier hits mark
+	// eagerly; this test counts the resulting CAS traffic directly.
+	rt := New(Options{Slots: 8, Fields: 1, Mutators: 1, BarrierBuffer: -1})
 	m := rt.Mutator(0)
 	a := m.Alloc()
 	b := m.Alloc()

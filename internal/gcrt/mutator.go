@@ -8,8 +8,9 @@ import (
 )
 
 // Mutator is a mutator thread's handle: its roots, its private grey
-// work-list, and its handshake mailbox. Each Mutator must be driven by a
-// single goroutine; the collector touches it only while it is parked.
+// work-list, its barrier buffer and allocation caches, and its handshake
+// mailbox. Each Mutator must be driven by a single goroutine; the
+// collector touches it only while it is parked.
 //
 // The operations mirror paper Figure 6: Load, Store (with deletion and
 // insertion barriers), Alloc, and Discard — plus SafePoint, the GC-safe
@@ -24,14 +25,28 @@ type Mutator struct {
 	roots []Obj
 	// wl is the private grey work-list W_m.
 	wl []Obj
-	// pool holds reserved free slots for synchronization-free allocation
+	// pool holds reserved free slots for the explicit AllocPooled API
 	// (pool.go, the paper's §4 extension).
 	pool []Obj
+	// tlab holds the implicit per-mutator allocation cache behind Alloc
+	// (tlab.go).
+	tlab []Obj
+	// bbuf and bcap are the batched write-barrier buffer (barrier.go).
+	bbuf []Obj
+	bcap int
 
-	pending atomic.Bool
-	parked  atomic.Bool
-	parkMu  sync.Mutex
-	served  atomic.Int64
+	// Handshake mailbox: the collector bumps hsWanted to the new round
+	// number; the mutator (or the collector, while the mutator is
+	// parked) acknowledges by storing the round into hsAcked. lastAck
+	// is the mutator goroutine's private copy of hsAcked, so the
+	// SafePoint fast path is a single atomic load and a compare.
+	hsWanted atomic.Int64
+	hsAcked  atomic.Int64
+	lastAck  int64
+
+	parked atomic.Bool
+	parkMu sync.Mutex
+	served atomic.Int64
 
 	// Acknowledgement flag for the stop-the-world baseline.
 	stwAcked atomic.Bool
@@ -41,7 +56,8 @@ type Mutator struct {
 	pauseTotal atomic.Int64
 	pauseCount atomic.Int64
 
-	ops int64 // operations performed (stats)
+	ops        int64 // operations performed (stats)
+	oracleTick int64 // sampling counter for online invariant checks
 }
 
 // ID returns the mutator's ordinal.
@@ -58,13 +74,26 @@ func (m *Mutator) Roots() []Obj { return append([]Obj(nil), m.roots...) }
 
 // Alloc allocates a new object with the current allocation color f_A,
 // pushes it as a new root, and returns its root index; -1 when the arena
-// is exhausted. (Figure 6 Alloc.)
+// is exhausted. (Figure 6 Alloc.) Slots come from the mutator's TLAB
+// (tlab.go) unless Options.LegacyAlloc selects the seed's shared
+// free-list path.
 func (m *Mutator) Alloc() int {
 	m.ops++
-	o := m.rt.arena.alloc(m.rt.fA.Load())
+	o := m.allocSlot()
 	if o == NilObj {
 		return -1
 	}
+	m.roots = append(m.roots, o)
+	return len(m.roots) - 1
+}
+
+// AdoptRoot pushes an externally supplied object reference as a new
+// root and returns its index. The caller must guarantee o stays
+// reachable (rooted elsewhere or the world quiesced) until the adoption
+// returns; workload setup uses it to hand a shared hub object to every
+// mutator before concurrency starts.
+func (m *Mutator) AdoptRoot(o Obj) int {
+	m.ops++
 	m.roots = append(m.roots, o)
 	return len(m.roots) - 1
 }
@@ -86,7 +115,9 @@ func (m *Mutator) Load(src, f int) int {
 // Store writes the object in root slot dst into field f of the object in
 // root slot src, running the deletion barrier on the overwritten value
 // and the insertion barrier on the stored value first (Figure 6 Store).
-// Pass dst = -1 to store NULL (pure deletion).
+// Pass dst = -1 to store NULL (pure deletion). Barrier targets go
+// through the batched barrier buffer (barrier.go) unless buffering is
+// disabled.
 func (m *Mutator) Store(src, f, dst int) {
 	m.ops++
 	srcObj := m.roots[src]
@@ -94,12 +125,16 @@ func (m *Mutator) Store(src, f, dst int) {
 	if dst >= 0 {
 		dstObj = m.roots[dst]
 	}
+	ph := Phase(m.rt.phase.Load())
 	old := m.rt.arena.LoadField(srcObj, f)
 	if !m.rt.opt.NoDeletionBarrier {
-		m.rt.mark(old, &m.wl) // deletion (snapshot) barrier
+		m.barrierHit(old) // deletion (snapshot) barrier
 	}
 	if !m.rt.opt.NoInsertionBarrier {
-		m.rt.mark(dstObj, &m.wl) // insertion (incremental-update) barrier
+		m.barrierHit(dstObj) // insertion (incremental-update) barrier
+	}
+	if o := m.rt.oracle; o != nil {
+		o.checkStore(m, old, dstObj, ph)
 	}
 	m.rt.arena.StoreField(srcObj, f, dstObj)
 }
@@ -124,13 +159,30 @@ func (m *Mutator) DiscardAll() {
 // Call it as often as a compiler would emit GC-safe points; elemental
 // operations (Load/Store/Alloc and SafePoint itself) are free of safe
 // points and cannot be interrupted by the collector.
+//
+// The fast path is one atomic load: the collector publishes a round
+// number, and the mutator compares it against its private copy of the
+// last round it acknowledged.
 func (m *Mutator) SafePoint() {
 	m.stwCheck() // stop-the-world baseline rendezvous (no-op otherwise)
-	if !m.pending.Load() {
+	want := m.hsWanted.Load()
+	if want == m.lastAck {
 		return
 	}
 	start := time.Now()
-	switch HSType(m.rt.hsType.Load()) {
+	m.serviceHandshake(HSType(m.rt.hsType.Load()))
+	m.lastAck = want
+	m.hsAcked.Store(want)
+	m.served.Add(1)
+	m.recordPause(time.Since(start))
+}
+
+// serviceHandshake performs the mutator-side work of the current round.
+// Every round starts by draining the barrier buffer — the handshake is
+// the runtime's MFENCE point (barrier.go).
+func (m *Mutator) serviceHandshake(t HSType) {
+	m.flushBarriers()
+	switch t {
 	case HSGetRoots:
 		for _, r := range m.roots {
 			m.rt.mark(r, &m.wl)
@@ -140,10 +192,11 @@ func (m *Mutator) SafePoint() {
 	case HSGetWork:
 		m.rt.transfer(m.wl)
 		m.wl = m.wl[:0]
+	case HSValidate:
+		if o := m.rt.oracle; o != nil {
+			o.validateMutator(m)
+		}
 	}
-	m.pending.Store(false)
-	m.served.Add(1)
-	m.recordPause(time.Since(start))
 }
 
 // Served reports how many handshakes this mutator has completed
@@ -162,18 +215,23 @@ func (m *Mutator) AwaitHandshakes(n int64) {
 
 // Park declares the mutator blocked (e.g. waiting on I/O): it sits at a
 // permanent safe point and the collector performs handshake work on its
-// behalf.
+// behalf. The TLAB reservation is returned to the shared free lists so
+// other mutators can allocate from it while this one is blocked.
 func (m *Mutator) Park() {
+	m.ReturnTLAB()
 	m.parkMu.Lock()
 	m.parked.Store(true)
 	m.parkMu.Unlock()
 }
 
 // Unpark resumes the mutator. It synchronizes with any in-flight
-// collector-side handshake work before returning.
+// collector-side handshake work before returning, and refreshes the
+// mutator's private view of the rounds the collector completed on its
+// behalf.
 func (m *Mutator) Unpark() {
 	m.parkMu.Lock()
 	m.parked.Store(false)
+	m.lastAck = m.hsAcked.Load()
 	m.parkMu.Unlock()
 }
 

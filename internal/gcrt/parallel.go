@@ -1,7 +1,9 @@
 package gcrt
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the multi-threaded-collector extension the paper
@@ -10,75 +12,148 @@ import (
 // could, with some effort, be extended to a multi-threaded collector."
 //
 // With Options.MarkWorkers > 1, the mark loop's tracing is performed by
-// a pool of workers sharing a queue. The design leans on exactly the
-// properties the verification establishes for the single-threaded
-// collector: marking is a CAS race with one winner (Figure 5), so two
-// workers tracing the same object cannot double-add it to a work-list,
-// and work-list entries are exclusively owned, so queue items are
-// processed exactly once. The handshake structure is untouched — the
-// collector control thread still runs the Figure 2 cycle.
+// a pool of workers, each owning a Chase–Lev work-stealing deque
+// (deque.go): a worker scans objects popped from its own deque, pushes
+// the greys it discovers locally, and steals from its siblings when it
+// runs dry. A shared mutex-protected overflow list absorbs pushes that
+// overflow a fixed-capacity deque; workers fall back to it after a
+// failed round of steals.
+//
+// The design leans on exactly the properties the verification
+// establishes for the single-threaded collector: marking is a CAS race
+// with one winner (Figure 5), so two workers tracing the same object
+// cannot double-add it to a work-list, and work-list entries are
+// exclusively owned, so deque items are processed exactly once. The
+// handshake structure is untouched — the collector control thread still
+// runs the Figure 2 cycle.
+//
+// Termination uses an item-conservation counter: `pending` counts
+// objects that have been enqueued (anywhere) but not yet fully scanned.
+// A worker increments it before publishing a child and decrements it
+// only after the scan of an object completes, so pending can reach zero
+// only when every deque and the overflow list are empty and no scan is
+// in flight.
+
+// traceDequeCap bounds each worker's deque; overflow spills to a shared
+// list. 8192 entries = 32 KiB per worker.
+const traceDequeCap = 1 << 13
+
+// traceState is the shared state of one parallel trace.
+type traceState struct {
+	deques []*wsDeque
+
+	ovMu     sync.Mutex
+	overflow []Obj
+
+	pending   atomic.Int64
+	processed atomic.Int64
+}
+
+// spill pushes v to the shared overflow list.
+func (st *traceState) spill(v Obj) {
+	st.ovMu.Lock()
+	st.overflow = append(st.overflow, v)
+	st.ovMu.Unlock()
+}
+
+// fromOverflow pops one object from the shared overflow list.
+func (st *traceState) fromOverflow() (Obj, bool) {
+	st.ovMu.Lock()
+	n := len(st.overflow)
+	if n == 0 {
+		st.ovMu.Unlock()
+		return NilObj, false
+	}
+	v := st.overflow[n-1]
+	st.overflow = st.overflow[:n-1]
+	st.ovMu.Unlock()
+	return v, true
+}
 
 // traceAll drains the work queue, tracing children, until no work
-// remains; with workers > 1 the tracing is parallel. It returns the
-// number of objects scanned.
+// remains; with workers > 1 the tracing is parallel over work-stealing
+// deques. It returns the number of objects scanned.
 func (rt *Runtime) traceAll(workers int) int {
 	if workers <= 1 {
 		return rt.traceSerial()
 	}
-	var (
-		mu     sync.Mutex
-		cond   = sync.NewCond(&mu)
-		queue  = rt.drainQueue()
-		active = 0
-		done   = false
-		count  = 0
-	)
+	work := rt.drainQueue()
+	if len(work) == 0 {
+		return 0
+	}
+	st := &traceState{deques: make([]*wsDeque, workers)}
+	for w := range st.deques {
+		st.deques[w] = newWSDeque(traceDequeCap)
+	}
+	// Seed the deques round-robin before any worker starts; conservation
+	// counter first so no worker can observe pending==0 spuriously.
+	st.pending.Add(int64(len(work)))
+	for i, o := range work {
+		if !st.deques[i%workers].push(o) {
+			st.spill(o)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(self int) {
 			defer wg.Done()
-			var scratch []Obj
-			for {
-				mu.Lock()
-				for len(queue) == 0 && !done {
-					if active == 0 {
-						// No one is working and no work remains: over.
-						done = true
-						cond.Broadcast()
-						break
-					}
-					cond.Wait()
-				}
-				if done && len(queue) == 0 {
-					mu.Unlock()
-					return
-				}
-				src := queue[len(queue)-1]
-				queue = queue[:len(queue)-1]
-				active++
-				mu.Unlock()
-
-				scratch = scratch[:0]
-				for f := 0; f < rt.arena.NumFields(); f++ {
-					child := rt.arena.LoadField(src, f)
-					if child != NilObj {
-						rt.mark(child, &scratch)
-					}
-				}
-				rt.stats.scanned.Add(1)
-
-				mu.Lock()
-				count++
-				queue = append(queue, scratch...)
-				active--
-				cond.Broadcast()
-				mu.Unlock()
-			}
-		}()
+			rt.traceWorker(st, self)
+		}(w)
 	}
 	wg.Wait()
-	return count
+	return int(st.processed.Load())
+}
+
+// traceWorker runs one tracer: pop locally, steal on empty, fall back
+// to the overflow list, and exit when the conservation counter says the
+// whole trace is drained.
+func (rt *Runtime) traceWorker(st *traceState, self int) {
+	own := st.deques[self]
+	nw := len(st.deques)
+	var scratch []Obj
+	for {
+		v, ok := own.pop()
+		if !ok {
+			// Steal round: start from a neighbor to avoid convoys.
+			for i := 1; i < nw && !ok; i++ {
+				v, ok = st.deques[(self+i)%nw].steal()
+				if ok {
+					rt.stats.steals.Add(1)
+				}
+			}
+		}
+		if !ok {
+			v, ok = st.fromOverflow()
+		}
+		if !ok {
+			if st.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+
+		scratch = scratch[:0]
+		for f := 0; f < rt.arena.NumFields(); f++ {
+			child := rt.arena.LoadField(v, f)
+			if child != NilObj {
+				rt.mark(child, &scratch)
+			}
+		}
+		if len(scratch) > 0 {
+			st.pending.Add(int64(len(scratch)))
+			for _, c := range scratch {
+				if !own.push(c) {
+					st.spill(c)
+				}
+			}
+		}
+		rt.stats.scanned.Add(1)
+		st.processed.Add(1)
+		st.pending.Add(-1)
+	}
 }
 
 // traceSerial is the single-threaded tracing the paper verifies.

@@ -1,67 +1,28 @@
 package gcrt
 
-// This file implements the allocation-pool extension the paper devised
-// but did not verify (§4, "Representations"):
-//
-//	"we have devised but not yet verified an extension to the model that
-//	would allow mutators to gather pools of unallocated references from
-//	which to perform fine-grained allocation without synchronizing. For
-//	TSO, we can also perform the marking and initialization of the fields
-//	at each allocation without the need for an MFENCE, because publishing
-//	the new reference to other mutators can occur only after the prior
-//	initializing stores have been flushed."
-//
-// With Options.AllocPoolSize > 0, each mutator refills a private pool of
-// reserved free slots in one synchronized grab and then allocates from it
-// with no shared-state interaction at all. Reserved slots are invisible
-// to the sweep (their headers stay clear), so a pool is simply a slice of
-// the free list owned by one thread — the same thread-locality argument
-// the paper makes for the work-lists.
+// This file keeps the explicit allocation-pool API from the paper's §4
+// extension (see tlab.go for the quoted passage and the design
+// argument). AllocPooled predates the TLAB path and remains as a
+// separately sized, caller-managed reservation: tests and experiments
+// use it to pin down reservation behavior precisely, while Alloc's
+// implicit TLAB is the production path. Both draw from the same sharded
+// free lists.
 
-// refillPool moves up to n free slots from the arena's free list into
-// the pool (one lock acquisition).
-func (a *Arena) refillPool(pool []Obj, n int) []Obj {
-	a.freeMu.Lock()
-	for len(pool) < n && len(a.free) > 0 {
-		o := a.free[len(a.free)-1]
-		a.free = a.free[:len(a.free)-1]
-		pool = append(pool, o)
-	}
-	a.freeMu.Unlock()
-	return pool
+// refillPool moves up to n free slots from the sharded free lists into
+// the pool, preferring the given home shard.
+func (a *Arena) refillPool(pool []Obj, home, n int) []Obj {
+	return a.reserveBatch(pool, home, n)
 }
 
-// returnPool gives reserved slots back to the free list.
+// returnPool gives reserved slots back to their shards' free lists.
 func (a *Arena) returnPool(pool []Obj) {
-	if len(pool) == 0 {
-		return
-	}
-	a.freeMu.Lock()
-	a.free = append(a.free, pool...)
-	a.freeMu.Unlock()
-}
-
-// allocFromPool installs an object on a reserved slot without touching
-// any shared allocator state. The header store publishes the object;
-// on x86-TSO the initializing field stores drain before any later store
-// that could publish the reference, which is why no fence is needed —
-// the paper's §4 argument.
-func (a *Arena) allocFromPool(o Obj, flag bool) {
-	base := int(o) * a.nfields
-	for i := 0; i < a.nfields; i++ {
-		a.fields[base+i].Store(int32(NilObj))
-	}
-	h := hdrAlloc
-	if flag {
-		h |= hdrFlag
-	}
-	a.headers[o].Store(h)
+	a.returnBatch(pool)
 }
 
 // AllocPooled allocates from the mutator's private pool, refilling it
-// from the shared free list when empty. Semantically identical to Alloc;
-// the difference is synchronization frequency: one lock acquisition per
-// PoolSize allocations instead of one per allocation.
+// from the shared free lists when empty. Semantically identical to
+// Alloc; the difference is synchronization frequency: one lock
+// acquisition per PoolSize allocations instead of one per allocation.
 func (m *Mutator) AllocPooled() int {
 	m.ops++
 	if len(m.pool) == 0 {
@@ -69,20 +30,20 @@ func (m *Mutator) AllocPooled() int {
 		if n <= 0 {
 			n = 16
 		}
-		m.pool = m.rt.arena.refillPool(m.pool, n)
+		m.pool = m.rt.arena.refillPool(m.pool, m.id, n)
 		if len(m.pool) == 0 {
 			return -1 // arena exhausted (other pools may hold reserves)
 		}
 	}
 	o := m.pool[len(m.pool)-1]
 	m.pool = m.pool[:len(m.pool)-1]
-	m.rt.arena.allocFromPool(o, m.rt.fA.Load())
+	m.rt.arena.install(o, m.rt.fA.Load())
 	m.roots = append(m.roots, o)
 	return len(m.roots) - 1
 }
 
 // ReturnPool releases the mutator's reserved slots back to the shared
-// free list, e.g. before parking for a long time so other mutators can
+// free lists, e.g. before parking for a long time so other mutators can
 // allocate them.
 func (m *Mutator) ReturnPool() {
 	m.rt.arena.returnPool(m.pool)

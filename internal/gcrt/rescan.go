@@ -64,16 +64,7 @@ func (rt *Runtime) CollectRescan() int {
 	}
 
 	rt.phase.Store(int32(PhSweep))
-	freed := 0
-	fM := rt.fM.Load()
-	for i := 0; i < rt.arena.NumSlots(); i++ {
-		o := Obj(i)
-		h := rt.arena.headers[o].Load()
-		if h&hdrAlloc != 0 && (h&hdrFlag != 0) != fM {
-			rt.arena.release(o)
-			freed++
-		}
-	}
+	freed := rt.sweep()
 	rt.phase.Store(int32(PhIdle))
 
 	rt.stats.cycles.Add(1)

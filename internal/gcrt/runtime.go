@@ -32,13 +32,16 @@ func (p Phase) String() string {
 	return fmt.Sprintf("Phase(%d)", int32(p))
 }
 
-// HSType is the handshake type (§2.2).
+// HSType is the handshake type (§2.2). HSValidate is not part of the
+// paper's protocol: it is the online invariant oracle's audit round
+// (oracle.go), a no-op for the collector state machine.
 type HSType int32
 
 const (
 	HSNoop HSType = iota
 	HSGetRoots
 	HSGetWork
+	HSValidate
 )
 
 // Options configures the runtime kernel, including the ablation switches
@@ -62,8 +65,26 @@ type Options struct {
 	// MarkWorkers sets the number of tracing workers in the mark loop
 	// (0 or 1 = single-threaded, the configuration the paper verifies;
 	// >1 exercises the multi-threaded-collector extension sketched in
-	// §1). Marking is CAS-idempotent, so workers race safely.
+	// §1 over work-stealing deques). Marking is CAS-idempotent, so
+	// workers race safely.
 	MarkWorkers int
+
+	// ArenaShards sets the free-list shard count (rounded up to a power
+	// of two; 0 derives it from GOMAXPROCS, 1 reproduces the seed's
+	// single global free list).
+	ArenaShards int
+	// TLABSize sets the per-mutator allocation-cache batch reserved per
+	// refill (0 picks a default of 64). See tlab.go.
+	TLABSize int
+	// LegacyAlloc disables the TLAB path: Alloc takes a shared free-list
+	// lock per allocation, the seed's behavior. Baseline benchmarks
+	// only.
+	LegacyAlloc bool
+	// BarrierBuffer sets the batched write-barrier buffer capacity
+	// (0 picks a default of 64; negative disables buffering so barrier
+	// targets are marked immediately, the paper figures' literal
+	// instruction order). See barrier.go.
+	BarrierBuffer int
 }
 
 // Runtime is the collector kernel: shared control state, the arena, the
@@ -78,9 +99,11 @@ type Runtime struct {
 	fA    atomic.Bool
 	phase atomic.Int32
 
-	// Handshake state.
-	hsType atomic.Int32
-	muts   []*Mutator
+	// Handshake state. hsRound is touched only by the collector
+	// goroutine; mutators see rounds through their own mailboxes.
+	hsType  atomic.Int32
+	hsRound int64
+	muts    []*Mutator
 
 	// stw is the world-stop protocol state used by the stop-the-world
 	// baseline (stw.go).
@@ -90,9 +113,18 @@ type Runtime struct {
 	// work-lists here when completing get-roots/get-work handshakes.
 	// Schism transfers work-lists with wait-free list splicing; a mutex
 	// is contention-equivalent at handshake granularity and keeps the
-	// kernel readable.
+	// kernel readable. (Tracing itself runs over work-stealing deques,
+	// parallel.go; this queue only changes hands at handshakes.)
 	wqMu sync.Mutex
 	wq   []Obj
+
+	// oracle, when non-nil, runs sampled online invariant checks
+	// against the live arena (oracle.go).
+	oracle *Oracle
+
+	// sweepScratch carries freed slots between sweep and batched
+	// release; collector goroutine only.
+	sweepScratch []Obj
 
 	stats Stats
 }
@@ -104,10 +136,12 @@ func New(opt Options) *Runtime {
 	}
 	rt := &Runtime{
 		opt:   opt,
-		arena: NewArena(opt.Slots, opt.Fields),
+		arena: NewArenaSharded(opt.Slots, opt.Fields, opt.ArenaShards),
 	}
 	for i := 0; i < opt.Mutators; i++ {
-		rt.muts = append(rt.muts, &Mutator{rt: rt, id: i})
+		m := &Mutator{rt: rt, id: i}
+		m.bcap = rt.barrierCap()
+		rt.muts = append(rt.muts, m)
 	}
 	return rt
 }
@@ -118,6 +152,9 @@ func (rt *Runtime) Arena() *Arena { return rt.arena }
 // Mutator returns the i-th mutator handle. Each handle must be used from
 // a single goroutine.
 func (rt *Runtime) Mutator(i int) *Mutator { return rt.muts[i] }
+
+// NumMutators reports the number of registered mutators.
+func (rt *Runtime) NumMutators() int { return len(rt.muts) }
 
 // Stats returns a snapshot of the runtime counters.
 func (rt *Runtime) Stats() StatsSnapshot { return rt.stats.snapshot() }
@@ -148,29 +185,42 @@ func (rt *Runtime) drainQueue() []Obj {
 }
 
 // handshake performs one ragged round of soft handshakes (Figure 4): set
-// the type, signal every mutator, and wait until all have responded at a
-// GC-safe point. The atomic stores/loads provide the paper's fence
-// discipline (store fence at initiation, load fence at collection).
+// the type, publish a new round number to every mutator, and wait until
+// all have acknowledged at a GC-safe point. The atomic stores/loads
+// provide the paper's fence discipline (store fence at initiation, load
+// fence at collection).
+//
+// The wait spins on each mutator's acknowledgement counter — a read of
+// a line the mutator writes once per round — and takes the park lock
+// only when the mutator actually looks parked, so running mutators are
+// never serialized against the collector's polling (the seed re-locked
+// parkMu on every spin iteration, measurable contention at high mutator
+// counts).
 func (rt *Runtime) handshake(t HSType) {
 	start := time.Now()
+	rt.hsRound++
+	round := rt.hsRound
 	rt.hsType.Store(int32(t))
 	for _, m := range rt.muts {
-		m.pending.Store(true)
+		m.hsWanted.Store(round)
 	}
 	for _, m := range rt.muts {
 		spin := 0
-		for m.pending.Load() {
-			// A parked mutator sits at a permanent safe point; the
-			// collector performs its handshake work on its behalf
-			// (Schism treats blocked threads the same way). The park
-			// lock excludes Unpark while the collector touches the
-			// mutator's roots and work-list.
-			m.parkMu.Lock()
-			if m.parked.Load() && m.pending.CompareAndSwap(true, false) {
-				rt.collectorSideHandshake(m, t)
-				m.served.Add(1)
+		for m.hsAcked.Load() < round {
+			if m.parked.Load() {
+				// A parked mutator sits at a permanent safe point; the
+				// collector performs its handshake work on its behalf
+				// (Schism treats blocked threads the same way). The
+				// park lock excludes Unpark while the collector
+				// touches the mutator's roots, buffer and work-list.
+				m.parkMu.Lock()
+				if m.parked.Load() && m.hsAcked.Load() < round {
+					rt.collectorSideHandshake(m, t)
+					m.hsAcked.Store(round)
+					m.served.Add(1)
+				}
+				m.parkMu.Unlock()
 			}
-			m.parkMu.Unlock()
 			spin++
 			if spin%64 == 0 {
 				time.Sleep(10 * time.Microsecond)
@@ -180,7 +230,7 @@ func (rt *Runtime) handshake(t HSType) {
 		}
 	}
 	rt.stats.handshakes.Add(1)
-	rt.stats.handshakeNanos.Add(time.Since(start).Nanoseconds())
+	rt.stats.recordHandshake(time.Since(start))
 	if t == HSGetRoots {
 		rt.stats.rootsRounds.Add(1)
 	}
@@ -188,8 +238,10 @@ func (rt *Runtime) handshake(t HSType) {
 
 // collectorSideHandshake performs m's handshake work while m is parked.
 // The caller holds m.parkMu, so Unpark (and hence any mutator activity)
-// is excluded until the work completes.
+// is excluded until the work completes. Like the mutator-side service,
+// it starts by draining the barrier buffer.
 func (rt *Runtime) collectorSideHandshake(m *Mutator, t HSType) {
+	m.flushBarriers()
 	switch t {
 	case HSGetRoots:
 		for _, r := range m.roots {
@@ -200,6 +252,10 @@ func (rt *Runtime) collectorSideHandshake(m *Mutator, t HSType) {
 	case HSGetWork:
 		rt.transfer(m.wl)
 		m.wl = m.wl[:0]
+	case HSValidate:
+		if rt.oracle != nil {
+			rt.oracle.validateMutator(m)
+		}
 	}
 }
 
@@ -223,6 +279,23 @@ func (rt *Runtime) mark(ref Obj, wl *[]Obj) {
 	} else {
 		rt.stats.markFast.Add(1)
 	}
+}
+
+// sweep releases every object still at the unmarked sense, batching the
+// free-list traffic per shard, and returns the number freed.
+func (rt *Runtime) sweep() int {
+	fM := rt.fM.Load()
+	freed := rt.sweepScratch[:0]
+	for i := 0; i < rt.arena.NumSlots(); i++ {
+		o := Obj(i)
+		h := rt.arena.headers[o].Load()
+		if h&hdrAlloc != 0 && (h&hdrFlag != 0) != fM {
+			freed = append(freed, o)
+		}
+	}
+	rt.arena.releaseBatch(freed)
+	rt.sweepScratch = freed[:0]
+	return len(freed)
 }
 
 // Collect runs one full collection cycle (Figure 2) and returns the
@@ -261,16 +334,7 @@ func (rt *Runtime) Collect() int {
 
 	// Lines 35–45: sweep all unmarked objects.
 	rt.phase.Store(int32(PhSweep))
-	freed := 0
-	fM := rt.fM.Load()
-	for i := 0; i < rt.arena.NumSlots(); i++ {
-		o := Obj(i)
-		h := rt.arena.headers[o].Load()
-		if h&hdrAlloc != 0 && (h&hdrFlag != 0) != fM {
-			rt.arena.release(o)
-			freed++
-		}
-	}
+	freed := rt.sweep()
 	// Line 46.
 	rt.phase.Store(int32(PhIdle))
 

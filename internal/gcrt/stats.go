@@ -2,9 +2,56 @@ package gcrt
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
+
+// latBuckets is the number of log2-spaced latency histogram buckets;
+// bucket i counts durations in [2^(i-1), 2^i) nanoseconds, which covers
+// everything up to ~2 minutes.
+const latBuckets = 40
+
+// latHist is a lock-free log2 latency histogram.
+type latHist struct {
+	buckets [latBuckets]atomic.Int64
+}
+
+func (h *latHist) record(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	i := bits.Len64(uint64(n))
+	if i >= latBuckets {
+		i = latBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// percentile returns an upper bound for the p-th percentile (p in
+// [0,1]): the top of the histogram bucket the p-th sample falls in.
+func (h *latHist) percentile(p float64) time.Duration {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			return time.Duration(int64(1) << uint(i))
+		}
+	}
+	return time.Duration(int64(1) << (latBuckets - 1))
+}
 
 // Stats holds the runtime's internal counters.
 type Stats struct {
@@ -18,6 +65,18 @@ type Stats struct {
 	handshakeNanos atomic.Int64
 	cycleNanos     atomic.Int64
 	rootsRounds    atomic.Int64
+
+	tlabRefills     atomic.Int64 // TLAB batch reservations (tlab.go)
+	steals          atomic.Int64 // successful deque steals (parallel.go)
+	barrierBuffered atomic.Int64 // barrier targets that entered a buffer
+	barrierFlushes  atomic.Int64 // barrier-buffer drains (barrier.go)
+
+	hsHist latHist // per-round handshake latency histogram
+}
+
+func (s *Stats) recordHandshake(d time.Duration) {
+	s.handshakeNanos.Add(d.Nanoseconds())
+	s.hsHist.record(d)
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -39,32 +98,54 @@ type StatsSnapshot struct {
 	Handshakes int64
 	// HandshakeTime is the cumulative collector-side handshake latency.
 	HandshakeTime time.Duration
+	// HandshakeP50 and HandshakeP99 are upper bounds on the median and
+	// 99th-percentile per-round handshake latency (log2-bucketed).
+	HandshakeP50 time.Duration
+	HandshakeP99 time.Duration
 	// CycleTime is the cumulative collection-cycle duration.
 	CycleTime time.Duration
 	// RootsRounds counts root-marking handshake rounds: exactly one per
 	// cycle for the snapshot collector, one per rescan round for the
 	// incremental-update rescanning variant.
 	RootsRounds int64
+
+	// TLABRefills counts per-mutator allocation-cache batch
+	// reservations from the sharded free lists.
+	TLABRefills int64
+	// Steals counts successful work-stealing deque steals during
+	// parallel tracing.
+	Steals int64
+	// BarrierBuffered counts write-barrier targets that entered a
+	// per-mutator barrier buffer; BarrierFlushes counts buffer drains.
+	BarrierBuffered int64
+	BarrierFlushes  int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Cycles:        s.cycles.Load(),
-		Freed:         s.freed.Load(),
-		Marked:        s.marked.Load(),
-		Scanned:       s.scanned.Load(),
-		MarkFast:      s.markFast.Load(),
-		MarkCAS:       s.markCAS.Load(),
-		Handshakes:    s.handshakes.Load(),
-		HandshakeTime: time.Duration(s.handshakeNanos.Load()),
-		CycleTime:     time.Duration(s.cycleNanos.Load()),
-		RootsRounds:   s.rootsRounds.Load(),
+		Cycles:          s.cycles.Load(),
+		Freed:           s.freed.Load(),
+		Marked:          s.marked.Load(),
+		Scanned:         s.scanned.Load(),
+		MarkFast:        s.markFast.Load(),
+		MarkCAS:         s.markCAS.Load(),
+		Handshakes:      s.handshakes.Load(),
+		HandshakeTime:   time.Duration(s.handshakeNanos.Load()),
+		HandshakeP50:    s.hsHist.percentile(0.50),
+		HandshakeP99:    s.hsHist.percentile(0.99),
+		CycleTime:       time.Duration(s.cycleNanos.Load()),
+		RootsRounds:     s.rootsRounds.Load(),
+		TLABRefills:     s.tlabRefills.Load(),
+		Steals:          s.steals.Load(),
+		BarrierBuffered: s.barrierBuffered.Load(),
+		BarrierFlushes:  s.barrierFlushes.Load(),
 	}
 }
 
 func (s StatsSnapshot) String() string {
 	return fmt.Sprintf(
-		"cycles=%d freed=%d marked=%d scanned=%d fastpath=%d cas=%d handshakes=%d hsTime=%v cycleTime=%v",
+		"cycles=%d freed=%d marked=%d scanned=%d fastpath=%d cas=%d handshakes=%d hsTime=%v hsP50=%v hsP99=%v cycleTime=%v tlabRefills=%d steals=%d barrierBuffered=%d",
 		s.Cycles, s.Freed, s.Marked, s.Scanned, s.MarkFast, s.MarkCAS,
-		s.Handshakes, s.HandshakeTime, s.CycleTime)
+		s.Handshakes, s.HandshakeTime, s.HandshakeP50, s.HandshakeP99,
+		s.CycleTime, s.TLABRefills, s.Steals, s.BarrierBuffered)
 }

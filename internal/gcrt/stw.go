@@ -82,16 +82,8 @@ func (rt *Runtime) CollectSTW() int {
 		rt.stats.scanned.Add(1)
 	}
 
-	// Sweep.
-	freed := 0
-	for i := 0; i < rt.arena.NumSlots(); i++ {
-		o := Obj(i)
-		h := rt.arena.headers[o].Load()
-		if h&hdrAlloc != 0 && (h&hdrFlag != 0) != fM {
-			rt.arena.release(o)
-			freed++
-		}
-	}
+	// Sweep (batched free-list release, one lock per shard).
+	freed := rt.sweep()
 
 	// Restart the world.
 	rt.stw.Store(stwIdle)
