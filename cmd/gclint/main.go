@@ -55,67 +55,21 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/golint"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/litmus"
 	"repro/internal/tso"
+	"repro/internal/verdict"
 )
-
-// jsonModel is the machine-readable model lint report.
-type jsonModel struct {
-	Preset   string        `json:"preset"`
-	Clean    bool          `json:"clean"`
-	Findings []jsonFinding `json:"findings,omitempty"`
-	Relaxed  []jsonPair    `json:"relaxed,omitempty"`
-	Fences   []jsonFence   `json:"fence_coverage,omitempty"`
-}
-
-type jsonFinding struct {
-	Rule   string `json:"rule"`
-	PID    int    `json:"pid"`
-	Label  string `json:"label"`
-	Detail string `json:"detail"`
-}
-
-type jsonPair struct {
-	PID   int    `json:"pid"`
-	Store string `json:"store"`
-	Load  string `json:"load"`
-}
-
-type jsonFence struct {
-	PID    int    `json:"pid"`
-	Label  string `json:"label"`
-	Covers int    `json:"covers"`
-}
-
-// jsonLitmus is the machine-readable litmus robustness report.
-type jsonLitmus struct {
-	Name     string   `json:"name"`
-	Robust   bool     `json:"robust"`
-	Critical []string `json:"critical,omitempty"`
-	// Dynamic is the ground-truth verdict (TSO outcome set == SC outcome
-	// set), present with -dyn.
-	Dynamic *bool `json:"dynamic_robust,omitempty"`
-}
-
-func presets() map[string]core.ModelConfig {
-	return map[string]core.ModelConfig{
-		"tiny":              core.TinyConfig(),
-		"alloc":             core.AllocConfig(),
-		"two-mutator":       core.TwoMutatorConfig(),
-		"two-mutator-loads": core.TwoMutatorLoadsConfig(),
-		"two-sym":           core.SymmetricConfig(),
-		"chain":             core.ChainConfig(),
-	}
-}
 
 func main() {
 	var (
-		preset  = flag.String("preset", "tiny", "model preset to lint: tiny, alloc, two-mutator, two-mutator-loads, two-sym, chain")
+		preset  = flag.String("preset", "tiny", "model preset to lint: "+strings.Join(core.PresetNames(), ", "))
 		relaxed = flag.Bool("relaxed", false, "also print the informational relaxed store→load pairs and per-fence coverage")
 
 		noDel     = flag.Bool("no-deletion-barrier", false, "ablate the deletion barrier")
@@ -134,8 +88,13 @@ func main() {
 		all        = flag.Bool("all", false, "CI gate: lint every preset and the litmus catalogue with -dyn")
 		gosrc      = flag.Bool("gosrc", false, "lint the checker's own Go source: fingerprint map iteration + goroutine recover guards")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
+		version    = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	sigc := make(chan os.Signal, 1)
@@ -156,9 +115,9 @@ func main() {
 		os.Exit(runLitmus(ctx, *dyn, *jsonOut))
 	}
 
-	cfg, ok := presets()[*preset]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "gclint: unknown preset %q\n", *preset)
+	cfg, err := core.PresetConfig(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
 		os.Exit(2)
 	}
 	cfg.NoDeletionBarrier = *noDel
@@ -179,7 +138,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitModelJSON(*preset, rep, *relaxed)
+		emit(verdict.FromModelReport(*preset, rep, *relaxed))
 	} else {
 		printModel(*preset, rep, *relaxed)
 	}
@@ -208,22 +167,6 @@ func printModel(preset string, rep *analysis.ModelReport, relaxed bool) {
 	}
 }
 
-func emitModelJSON(preset string, rep *analysis.ModelReport, relaxed bool) {
-	v := jsonModel{Preset: preset, Clean: rep.Clean()}
-	for _, f := range rep.Findings {
-		v.Findings = append(v.Findings, jsonFinding{Rule: f.Rule, PID: int(f.PID), Label: f.Label, Detail: f.Detail})
-	}
-	if relaxed {
-		for _, p := range rep.Relaxed {
-			v.Relaxed = append(v.Relaxed, jsonPair{PID: int(p.PID), Store: p.Store, Load: p.Load})
-		}
-		for _, c := range rep.FenceCoverage {
-			v.Fences = append(v.Fences, jsonFence{PID: int(c.PID), Label: c.Label, Covers: c.Covers})
-		}
-	}
-	emit(v)
-}
-
 // interrupted reports whether ctx has been cancelled (by the signal
 // handler).
 func interrupted(ctx context.Context) bool {
@@ -241,21 +184,18 @@ func interrupted(ctx context.Context) bool {
 // interrupted before the catalogue was exhausted.
 func runLitmus(ctx context.Context, dyn, jsonOut bool) int {
 	status := 0
-	var out []jsonLitmus
+	var out []verdict.LitmusLint
 	for _, tc := range litmus.All() {
 		if interrupted(ctx) {
 			fmt.Fprintln(os.Stderr, "gclint: INCOMPLETE (interrupted): litmus catalogue not exhausted")
 			return 130
 		}
 		rep := analysis.AnalyzeTSOProgram(tc.Prog)
-		j := jsonLitmus{Name: tc.Name, Robust: rep.Robust}
-		for _, p := range rep.Critical {
-			j.Critical = append(j.Critical, p.String())
-		}
+		var dynVerdict *bool
 		note := ""
 		if dyn {
 			d := robustDynamic(tc.Prog)
-			j.Dynamic = &d
+			dynVerdict = &d
 			switch {
 			case !d && rep.Robust:
 				note = "  UNSOUND: TSO outcomes exceed SC but not flagged"
@@ -264,13 +204,13 @@ func runLitmus(ctx context.Context, dyn, jsonOut bool) int {
 				note = "  (conservative: outcome sets coincide)"
 			}
 		}
-		out = append(out, j)
+		out = append(out, verdict.FromTSOReport(tc.Name, rep, dynVerdict))
 		if !jsonOut {
-			verdict := "robust"
+			v := "robust"
 			if !rep.Robust {
-				verdict = fmt.Sprintf("NOT TSO-robust: %v", rep.Critical)
+				v = fmt.Sprintf("NOT TSO-robust: %v", rep.Critical)
 			}
-			fmt.Printf("%-22s %s%s\n", tc.Name, verdict, note)
+			fmt.Printf("%-22s %s%s\n", tc.Name, v, note)
 		}
 	}
 	if jsonOut {
@@ -284,10 +224,15 @@ func runLitmus(ctx context.Context, dyn, jsonOut bool) int {
 // between items and exits 130 — a partial gate never reads as clean.
 func runAll(ctx context.Context, jsonOut bool) int {
 	status := 0
-	for name, cfg := range presets() {
+	for _, name := range core.PresetNames() {
 		if interrupted(ctx) {
 			fmt.Fprintln(os.Stderr, "gclint: INCOMPLETE (interrupted): preset sweep not exhausted")
 			return 130
+		}
+		cfg, err := core.PresetConfig(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: %s: %v\n", name, err)
+			return 2
 		}
 		rep, err := analysis.LintModel(cfg)
 		if err != nil {

@@ -1,0 +1,153 @@
+// gcmc-bench measures model-checking throughput across the corpus
+// matrix and writes BENCH_gcmc.json: states/sec, wall time, and peak
+// heap for each preset x ablation x {TSO,SC} cell, every cell capped at
+// -max-states so the sweep stays tractable. EXPERIMENTS.md E22 tracks
+// the numbers; CI uploads the file as an artifact.
+//
+// Usage:
+//
+//	gcmc-bench -out BENCH_gcmc.json -presets tiny -max-states 50000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+)
+
+// benchAblations is the ablation axis of the benchmark matrix — the
+// same headline deletions the service's corpus mode enumerates.
+var benchAblations = []core.Ablations{
+	{},
+	{NoDeletionBarrier: true},
+	{NoInsertionBarrier: true},
+	{AllocWhite: true},
+	{UnlockedMark: true},
+	{NoHSFence: true},
+}
+
+// cellResult is one corpus-cell measurement.
+type cellResult struct {
+	Preset        string  `json:"preset"`
+	Ablations     string  `json:"ablations"` // "" = clean configuration
+	Memory        string  `json:"memory"`    // tso | sc
+	Verdict       string  `json:"verdict"`
+	States        int     `json:"states"`
+	Transitions   int     `json:"transitions"`
+	Depth         int     `json:"depth"`
+	WallSec       float64 `json:"wall_sec"`
+	StatesPerSec  float64 `json:"states_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
+type report struct {
+	Bench      string       `json:"bench"`
+	Date       string       `json:"date"`
+	Build      string       `json:"build"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	MaxStates  int          `json:"max_states"`
+	Cells      []cellResult `json:"cells"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_gcmc.json", "output file")
+		presets   = flag.String("presets", "tiny", "comma-separated presets to sweep")
+		maxStates = flag.Int("max-states", 50000, "per-cell state cap")
+		version   = flag.Bool("version", false, "print build identity and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+
+	rep := report{
+		Bench:      "gcmc",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Build:      buildinfo.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		MaxStates:  *maxStates,
+	}
+
+	for _, preset := range strings.Split(*presets, ",") {
+		preset = strings.TrimSpace(preset)
+		if _, err := core.PresetConfig(preset); err != nil {
+			fmt.Fprintln(os.Stderr, "gcmc-bench:", err)
+			os.Exit(2)
+		}
+		for _, abl := range benchAblations {
+			for _, mem := range []string{"tso", "sc"} {
+				a := abl
+				a.SCMemory = mem == "sc"
+				spec := core.JobSpec{
+					Preset:    preset,
+					Ablations: a,
+					Options:   core.JobOptions{MaxStates: *maxStates},
+				}
+				// Peak heap is sampled at every progress report; the
+				// cadence is tight enough that the BFS frontier peak —
+				// the number that matters — is captured.
+				var peak uint64
+				res, _, err := core.RunJob(spec, core.JobRun{
+					Progress: func(core.Progress) {
+						var ms runtime.MemStats
+						runtime.ReadMemStats(&ms)
+						if ms.HeapAlloc > peak {
+							peak = ms.HeapAlloc
+						}
+					},
+					ProgressEvery: 4096,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "gcmc-bench:", err)
+					os.Exit(2)
+				}
+				cell := cellResult{
+					Preset:        preset,
+					Ablations:     abl.String(),
+					Memory:        mem,
+					Verdict:       res.Status(),
+					States:        res.States,
+					Transitions:   res.Transitions,
+					Depth:         res.Depth,
+					WallSec:       res.Elapsed.Seconds(),
+					StatesPerSec:  float64(res.States) / res.Elapsed.Seconds(),
+					PeakHeapBytes: peak,
+				}
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Printf("%-6s %-22s %-3s %-18s %8d states %8.0f st/s %6.2fs %5.1f MiB\n",
+					preset, labelOrClean(abl), mem, cell.Verdict, cell.States,
+					cell.StatesPerSec, cell.WallSec, float64(peak)/(1<<20))
+			}
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcmc-bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "gcmc-bench:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Println("wrote", *out)
+}
+
+func labelOrClean(a core.Ablations) string {
+	if s := a.String(); s != "" {
+		return s
+	}
+	return "clean"
+}

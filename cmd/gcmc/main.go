@@ -22,6 +22,7 @@
 //	gcmc -preset tiny -validate-effects   # cross-check the static effect table
 //	gcmc -preset tiny -checkpoint run.ckpt  # snapshot the search periodically
 //	gcmc -preset tiny -resume run.ckpt    # continue an interrupted run
+//	gcmc -remote http://127.0.0.1:8322 -preset tiny  # run on a gcmcd daemon
 //
 // # Run durability
 //
@@ -34,69 +35,39 @@
 // verdict and counts as an uninterrupted run. -mem-budget caps the heap:
 // as usage climbs the run degrades in steps (emergency checkpoint, drop
 // audit fingerprints, clean incomplete stop) instead of being OOM-killed.
+//
+// # Remote runs
+//
+// With -remote the spec (preset + ablations + options) is submitted to
+// a gcmcd daemon instead of run in-process: progress streams back over
+// NDJSON, the daemon checkpoints and caches the run, and the verdict —
+// including rendered counterexamples — prints exactly as a local run
+// would, with the same exit codes. A repeated submission is served from
+// the daemon's verdict cache without re-exploring.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/heap"
+	"repro/internal/server"
+	"repro/internal/verdict"
 )
-
-// jsonVerdict is the machine-readable output of -json: the overall
-// verdict plus exploration statistics and, when -liveness ran,
-// per-property results.
-type jsonVerdict struct {
-	Preset      string  `json:"preset"`
-	Verdict     string  `json:"verdict"` // verified | no-violation | violation | liveness-violation
-	States      int     `json:"states"`
-	Transitions int     `json:"transitions"`
-	Depth       int     `json:"depth"`
-	Complete    bool    `json:"complete"`
-	Stopped     string  `json:"stopped,omitempty"` // why the run ended early
-	Checkpoints int     `json:"checkpoints,omitempty"`
-	Deadlocks   int     `json:"deadlocks"`
-	ElapsedSec  float64 `json:"elapsed_sec"`
-
-	Violation *jsonViolation `json:"violation,omitempty"`
-	Liveness  *jsonLiveness  `json:"liveness,omitempty"`
-}
-
-type jsonViolation struct {
-	Invariant string `json:"invariant"`
-	Depth     int    `json:"depth"`
-	TraceLen  int    `json:"trace_len"`
-}
-
-type jsonLiveness struct {
-	States      int            `json:"states"`
-	Transitions int            `json:"transitions"`
-	Depth       int            `json:"depth"`
-	Complete    bool           `json:"complete"`
-	ElapsedSec  float64        `json:"elapsed_sec"`
-	Holds       bool           `json:"holds"`
-	Properties  []jsonProperty `json:"properties"`
-}
-
-type jsonProperty struct {
-	Name     string `json:"name"`
-	Holds    bool   `json:"holds"`
-	StemLen  int    `json:"stem_len,omitempty"`
-	CycleLen int    `json:"cycle_len,omitempty"`
-}
 
 func main() {
 	var (
-		preset   = flag.String("preset", "tiny", "configuration preset: tiny, alloc, two-mutator, two-mutator-loads, two-sym, chain, custom")
+		preset   = flag.String("preset", "tiny", "configuration preset: "+strings.Join(core.PresetNames(), ", ")+", custom")
 		mutators = flag.Int("mutators", 1, "custom: number of mutators")
 		refs     = flag.Int("refs", 2, "custom: reference universe size")
 		fields   = flag.Int("fields", 1, "custom: fields per object")
@@ -138,24 +109,54 @@ func main() {
 		validate  = flag.Bool("validate-effects", false, "cross-check the declared effect footprint and derived POR class on every transition/state")
 		live      = flag.Bool("liveness", false, "also run the fair-cycle liveness checker on the unreduced state graph")
 		liveProps = flag.String("live-prop", "", "comma-separated progress properties to check (default all: hs-ack-m<i>, gc-sweep, buf-drain-gc, buf-drain-m<i>)")
+
+		remote  = flag.String("remote", "", "submit the run to a gcmcd daemon at this base URL instead of exploring in-process")
+		version = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+
+	abl := core.Ablations{
+		NoDeletionBarrier:     *noDel,
+		NoInsertionBarrier:    *noIns,
+		InsertionBarrierGated: *insGate,
+		SCMemory:              *scMem,
+		AllocWhite:            *allocWhite,
+		UnlockedMark:          *unlockedM,
+		NoHSFence:             *noHSFence,
+		ElideHS1:              *elide1,
+		ElideHS2:              *elide2,
+		ElideHS3:              *elide3,
+		ElideHS4:              *elide4,
+		MuteHandshake:         *muteHS,
+		NoDequeue:             *noDeq,
+	}
+
+	if *remote != "" {
+		jo := core.JobOptions{
+			MaxStates:       *maxStates,
+			MaxDepth:        *maxDepth,
+			HeadlineOnly:    *headline,
+			Audit:           *audit,
+			Reduce:          *reduce,
+			Symmetry:        *symmetry,
+			Liveness:        *live,
+			ValidateEffects: *validate,
+			Workers:         *workers,
+			Shards:          *shards,
+			MemBudgetMiB:    *memBudget,
+		}
+		if *liveProps != "" {
+			jo.LivenessProps = strings.Split(*liveProps, ",")
+		}
+		os.Exit(runRemote(*remote, *preset, abl, jo, *quiet, *jsonOut))
+	}
 
 	var cfg core.ModelConfig
-	switch *preset {
-	case "tiny":
-		cfg = core.TinyConfig()
-	case "alloc":
-		cfg = core.AllocConfig()
-	case "two-mutator":
-		cfg = core.TwoMutatorConfig()
-	case "two-mutator-loads":
-		cfg = core.TwoMutatorLoadsConfig()
-	case "two-sym":
-		cfg = core.SymmetricConfig()
-	case "chain":
-		cfg = core.ChainConfig()
-	case "custom":
+	if *preset == "custom" {
 		cfg = core.ModelConfig{
 			NMutators: *mutators, NRefs: *refs, NFields: *fields,
 			OpBudget: *budget, MaxBuf: *maxBuf,
@@ -163,23 +164,15 @@ func main() {
 			InitRoots:     []heap.RefSet{heap.SetOf(0)},
 			AllowNilStore: true,
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "gcmc: unknown preset %q\n", *preset)
-		os.Exit(2)
+	} else {
+		var err error
+		cfg, err = core.PresetConfig(*preset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcmc:", err)
+			os.Exit(2)
+		}
 	}
-	cfg.NoDeletionBarrier = *noDel
-	cfg.NoInsertionBarrier = *noIns
-	cfg.InsertionBarrierOnlyBeforeRootsDone = *insGate
-	cfg.SCMemory = *scMem
-	cfg.AllocWhite = *allocWhite
-	cfg.UnlockedMark = *unlockedM
-	cfg.NoHSFence = *noHSFence
-	cfg.ElideHS1 = *elide1
-	cfg.ElideHS2 = *elide2
-	cfg.ElideHS3 = *elide3
-	cfg.ElideHS4 = *elide4
-	cfg.MuteHandshake = *muteHS
-	cfg.NoDequeue = *noDeq
+	abl.Apply(&cfg)
 
 	if *lint {
 		rep, err := analysis.LintModel(cfg)
@@ -269,14 +262,19 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitJSON(*preset, res)
-		switch {
-		case res.Violation != nil || (res.Liveness != nil && !res.Liveness.Holds()):
-			os.Exit(1)
-		case wasInterrupted(res):
-			os.Exit(130)
+		fp, _, ferr := core.Fingerprint(cfg, opt)
+		if ferr != nil {
+			fp = 0
 		}
-		return
+		rec := verdict.New(*preset, abl, fp, res)
+		rec.Build = buildinfo.String()
+		b, merr := rec.Marshal()
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "gcmc:", merr)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+		os.Exit(rec.ExitCode())
 	}
 
 	fmt.Printf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%v\n",
@@ -342,6 +340,138 @@ func main() {
 	}
 }
 
+// runRemote submits the spec to a gcmcd daemon, streams progress back,
+// and prints the verdict with the same output and exit codes as a
+// local run.
+func runRemote(base, preset string, abl core.Ablations, jo core.JobOptions, quiet, jsonOut bool) int {
+	if preset == "custom" {
+		fmt.Fprintln(os.Stderr, "gcmc: -remote supports named presets only (custom configurations are CLI-local)")
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cli := server.NewClient(base)
+	spec := core.JobSpec{Preset: preset, Ablations: abl, Options: jo}
+	info, err := cli.Submit(ctx, spec, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcmc:", err)
+		return 2
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "gcmc: job %s (fingerprint %s) on %s: %s\n", info.ID, info.Fingerprint, base, info.State)
+	}
+	if !info.State.Terminal() {
+		var fn func(server.JobInfo)
+		if !quiet {
+			fn = func(i server.JobInfo) {
+				if p := i.Progress; p != nil {
+					fmt.Fprintf(os.Stderr, "\r%10d states, %10d transitions, depth %4d, %8.1fs",
+						p.States, p.Transitions, p.Depth, p.ElapsedSec)
+				}
+			}
+		}
+		info, err = cli.Stream(ctx, info.ID, fn)
+		if !quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if ctx.Err() != nil {
+			// Interrupted at the client: cancel the remote job too (it
+			// checkpoints at the next layer barrier) and report 130.
+			cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if fin, cerr := cli.Cancel(cctx, info.ID); cerr == nil {
+				info = fin
+			}
+			fmt.Fprintf(os.Stderr, "gcmc: interrupted — remote job %s cancelled (state %s)\n", info.ID, info.State)
+			return 130
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcmc:", err)
+			return 2
+		}
+	}
+	switch info.State {
+	case core.JobFailed:
+		fmt.Fprintf(os.Stderr, "gcmc: remote job %s failed: %s\n", info.ID, info.Error)
+		return 2
+	case core.JobCancelled:
+		fmt.Fprintf(os.Stderr, "gcmc: remote job %s was cancelled\n", info.ID)
+		return 130
+	}
+	rec := info.Verdict
+	if rec == nil {
+		fmt.Fprintf(os.Stderr, "gcmc: remote job %s finished without a verdict\n", info.ID)
+		return 2
+	}
+	if jsonOut {
+		b, merr := rec.Marshal()
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "gcmc:", merr)
+			return 2
+		}
+		os.Stdout.Write(b)
+		return rec.ExitCode()
+	}
+	if rec.Cached {
+		fmt.Fprintf(os.Stderr, "gcmc: verdict served from cache (produced by %s)\n", rec.Build)
+	}
+	return printRecord(rec)
+}
+
+// printRecord renders a verdict record the way the local path renders a
+// VerifyResult, returning the process exit code.
+func printRecord(rec *verdict.Record) int {
+	fmt.Printf("states=%d transitions=%d depth=%d complete=%v deadlocks=%d elapsed=%.2fs\n",
+		rec.States, rec.Transitions, rec.Depth, rec.Complete, rec.Deadlocks, rec.ElapsedSec)
+	if v := rec.Violation; v != nil {
+		fmt.Println("VIOLATION:")
+		fmt.Print(v.Rendered)
+		return 1
+	}
+	if l := rec.Liveness; l != nil {
+		fmt.Printf("liveness: states=%d transitions=%d depth=%d complete=%v elapsed=%.2fs\n",
+			l.States, l.Transitions, l.Depth, l.Complete, l.ElapsedSec)
+		for _, p := range l.Properties {
+			v := "holds"
+			if !p.Holds {
+				v = "FAIR CYCLE"
+			}
+			fmt.Printf("  %-14s %-10s %s\n", p.Name, v, p.Desc)
+		}
+		if !l.Holds {
+			for _, p := range l.Properties {
+				if p.Holds {
+					continue
+				}
+				fmt.Printf("LIVENESS VIOLATION: %s (%s)\n", p.Name, p.Desc)
+				fmt.Print(p.Rendered)
+			}
+			return 1
+		}
+	}
+	if rec.Verdict == "verified" {
+		if rec.Liveness != nil {
+			fmt.Println("VERIFIED: all invariants and progress properties hold on the full reachable state space")
+		} else {
+			fmt.Println("VERIFIED: all invariants hold on the full reachable state space")
+		}
+		return 0
+	}
+	reason := rec.Stopped
+	if reason == "" {
+		if l := rec.Liveness; l != nil && l.Stopped != "" {
+			reason = "liveness " + l.Stopped
+		} else {
+			reason = "bounded"
+		}
+	}
+	fmt.Printf("INCOMPLETE (%s): no violation found in the explored portion — not a verification\n", reason)
+	if rec.Interrupted() {
+		return 130
+	}
+	return 0
+}
+
 // stopReason names why the run is incomplete.
 func stopReason(res core.VerifyResult) string {
 	if res.Stopped != explore.StopNone {
@@ -357,51 +487,4 @@ func stopReason(res core.VerifyResult) string {
 func wasInterrupted(res core.VerifyResult) bool {
 	return res.Stopped == explore.StopInterrupted ||
 		(res.Liveness != nil && res.Liveness.Stopped == explore.StopInterrupted)
-}
-
-// emitJSON prints the machine-readable verdict.
-func emitJSON(preset string, res core.VerifyResult) {
-	v := jsonVerdict{
-		Preset:      preset,
-		Verdict:     res.Status(),
-		States:      res.States,
-		Transitions: res.Transitions,
-		Depth:       res.Depth,
-		Complete:    res.Complete,
-		Stopped:     string(res.Stopped),
-		Checkpoints: res.Checkpoints,
-		Deadlocks:   res.Deadlocks,
-		ElapsedSec:  res.Elapsed.Seconds(),
-	}
-	if res.Violation != nil {
-		v.Violation = &jsonViolation{
-			Invariant: res.Violation.Invariant,
-			Depth:     res.Violation.Depth,
-			TraceLen:  len(res.Violation.Trace),
-		}
-	}
-	if lr := res.Liveness; lr != nil {
-		jl := &jsonLiveness{
-			States:      lr.States,
-			Transitions: lr.Transitions,
-			Depth:       lr.Depth,
-			Complete:    lr.Complete,
-			ElapsedSec:  lr.Elapsed.Seconds(),
-			Holds:       lr.Holds(),
-		}
-		for _, p := range lr.Properties {
-			jp := jsonProperty{Name: p.Name, Holds: p.Holds}
-			if l := p.Counterexample; l != nil {
-				jp.StemLen, jp.CycleLen = len(l.Stem), len(l.Cycle)
-			}
-			jl.Properties = append(jl.Properties, jp)
-		}
-		v.Liveness = jl
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fmt.Fprintln(os.Stderr, "gcmc:", err)
-		os.Exit(2)
-	}
 }

@@ -1,0 +1,131 @@
+// gcmcd is the model-checker daemon: verification as a service.
+//
+// It accepts verification jobs (preset + ablations + options) over an
+// HTTP/JSON API, runs them on a bounded worker pool with per-job
+// checkpoints and memory budgets, streams progress as NDJSON, caches
+// verdicts by options fingerprint in a CRC-checked on-disk index, and
+// persists every job under -data — a daemon killed mid-job (even with
+// SIGKILL) resumes in-flight work from the latest layer-barrier
+// checkpoint on restart.
+//
+// Usage:
+//
+//	gcmcd -data ./var &
+//	gcmc -remote http://127.0.0.1:8322 -preset tiny
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: running jobs
+// checkpoint at the next layer barrier and are marked interrupted, then
+// the process exits 0; the next start resumes them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8322", "listen address (host:port; port 0 picks a free port)")
+		data       = flag.String("data", "gcmcd-data", "managed data directory (jobs, checkpoints, verdict cache)")
+		workers    = flag.Int("workers", 1, "concurrent verification jobs")
+		ckptEvery  = flag.Int("checkpoint-every", 4, "default checkpoint cadence in BFS layers")
+		memBudget  = flag.Int("mem-budget", 0, "default per-job soft heap budget in MiB (0 = none)")
+		corpus     = flag.Bool("corpus", false, "enqueue the preset x ablation x {TSO,SC} corpus as background jobs at startup")
+		corpusMax  = flag.Int("corpus-max-states", 50000, "per-cell state cap for corpus jobs")
+		corpusOnly = flag.String("corpus-presets", "", "comma-separated preset filter for the corpus (empty = all)")
+		quiet      = flag.Bool("q", false, "suppress the per-job log")
+		version    = flag.Bool("version", false, "print build identity and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return 0
+	}
+
+	lg := log.New(os.Stderr, "gcmcd: ", log.LstdFlags)
+	elg := lg
+	if *quiet {
+		elg = nil
+	}
+	opt := server.Options{
+		DataDir:         *data,
+		Workers:         *workers,
+		CheckpointEvery: *ckptEvery,
+		MemBudgetMiB:    *memBudget,
+		CorpusMaxStates: *corpusMax,
+		Log:             elg,
+	}
+	if *corpusOnly != "" {
+		for _, p := range strings.Split(*corpusOnly, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opt.CorpusPresets = append(opt.CorpusPresets, p)
+			}
+		}
+	}
+	engine, err := server.New(opt)
+	if err != nil {
+		lg.Printf("%v", err)
+		return 2
+	}
+	if *corpus {
+		n, err := engine.EnqueueCorpus()
+		if err != nil {
+			lg.Printf("corpus: %v", err)
+			return 2
+		}
+		lg.Printf("corpus: %d cells enqueued", n)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		lg.Printf("%v", err)
+		return 2
+	}
+	srv := &http.Server{Handler: engine.Handler()}
+	// The address line goes to stdout so wrappers (tests, CI) can
+	// discover a port-0 listener.
+	fmt.Printf("gcmcd listening on %s\n", ln.Addr())
+	lg.Printf("build %s, data %s, %d worker(s)", buildinfo.String(), *data, *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		lg.Printf("%s: shutting down (running jobs checkpoint and resume on next start)", sig)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			lg.Printf("serve: %v", err)
+			return 2
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := engine.Shutdown(ctx); err != nil {
+		lg.Printf("%v", err)
+		return 2
+	}
+	lg.Printf("stopped")
+	return 0
+}

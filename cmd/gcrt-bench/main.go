@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"repro/internal/buildinfo"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -165,9 +166,14 @@ func main() {
 		rounds  = flag.Int("rounds", 3, "rounds per allocation measurement (best kept)")
 		perMut  = flag.Int("slots-per-mutator", 4096, "arena slots per mutator")
 		cycles  = flag.Int("cycles", 20, "collection cycles per pressure measurement")
+		version = flag.Bool("version", false, "print build identity and exit")
 		mutList = []int{1, 4, 8, 16}
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	rep := report{
 		Bench:      "gcrt",

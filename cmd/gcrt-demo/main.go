@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"repro/internal/buildinfo"
 	"runtime"
 	"sync"
 
@@ -39,8 +40,13 @@ func main() {
 		noIns   = flag.Bool("no-insertion-barrier", false, "ablate the insertion barrier")
 		allocW  = flag.Bool("alloc-white", false, "ablate black allocation (allocate unmarked in every phase)")
 		legacy  = flag.Bool("legacy-alloc", false, "use the seed's shared free-list allocator instead of TLABs")
+		version = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	opt := gcrt.Options{
 		Slots: *slots, Fields: *fields, Mutators: *nMut,

@@ -18,33 +18,31 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 )
 
 func main() {
 	var (
-		preset = flag.String("preset", "alloc", "configuration preset: tiny, alloc, two-mutator, chain")
-		steps  = flag.Int("steps", 100_000, "steps per walk")
-		seeds  = flag.Int("seeds", 8, "number of independent walks")
-		first  = flag.Int64("seed", 1, "first seed")
-		every  = flag.Int("check-every", 1, "check invariants every k-th step")
+		preset  = flag.String("preset", "alloc", "configuration preset: "+strings.Join(core.PresetNames(), ", "))
+		steps   = flag.Int("steps", 100_000, "steps per walk")
+		seeds   = flag.Int("seeds", 8, "number of independent walks")
+		first   = flag.Int64("seed", 1, "first seed")
+		every   = flag.Int("check-every", 1, "check invariants every k-th step")
+		version = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
-	var cfg core.ModelConfig
-	switch *preset {
-	case "tiny":
-		cfg = core.TinyConfig()
-	case "alloc":
-		cfg = core.AllocConfig()
-	case "two-mutator":
-		cfg = core.TwoMutatorConfig()
-	case "chain":
-		cfg = core.ChainConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "gcsim: unknown preset %q\n", *preset)
+	cfg, err := core.PresetConfig(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
 		os.Exit(2)
 	}
 	// Random walks need no bounded-context reduction.

@@ -12,13 +12,19 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/litmus"
 	"repro/internal/tso"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print every terminal outcome of every test")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	fmt.Printf("%-14s %-10s %-10s %-9s %-9s %s\n",
 		"test", "TSO", "SC", "outcomes", "witness", "description")

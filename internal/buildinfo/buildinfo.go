@@ -1,0 +1,54 @@
+// Package buildinfo renders the build's identity — module version plus
+// VCS revision — from the information the Go toolchain embeds in every
+// binary. Each CLI exposes it behind -version, the daemon reports it in
+// /healthz, and verdict records carry it so a cached verdict names the
+// build that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String returns a one-line build identity, e.g.
+//
+//	repro devel vcs=2f5105e8 built=2026-08-07T10:11:12Z (modified)
+//
+// Fields the toolchain did not embed (a non-VCS build, a test binary)
+// are omitted; the result is never empty.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	out := fmt.Sprintf("%s %s", bi.Main.Path, ver)
+	var rev, at string
+	modified := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " vcs=" + rev
+	}
+	if at != "" {
+		out += " built=" + at
+	}
+	if modified {
+		out += " (modified)"
+	}
+	return out
+}

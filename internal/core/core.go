@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/checkpoint"
+	"repro/internal/cimp"
 	"repro/internal/explore"
 	"repro/internal/gcmodel"
 	"repro/internal/gcrt"
@@ -50,6 +51,9 @@ type VerifyOptions struct {
 	HeadlineOnly bool
 	// Progress, if non-nil, receives periodic updates.
 	Progress func(Progress)
+	// ProgressEvery is the number of newly visited states between
+	// Progress reports (0 = checker default, 8192). Verdict-neutral.
+	ProgressEvery int
 	// Workers is the number of checker worker goroutines per BFS layer
 	// (0 = GOMAXPROCS). Verdicts do not depend on the worker count.
 	Workers int
@@ -172,33 +176,72 @@ func (r VerifyResult) RenderViolation() string {
 	return r.Violation.Render(r.Model)
 }
 
-// Verify model-checks a configuration against the paper's invariants.
-func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
-	m, err := gcmodel.Build(cfg)
-	if err != nil {
-		return VerifyResult{}, fmt.Errorf("core: %w", err)
-	}
-	checks := invariant.All()
+// battery selects the invariant set a run checks.
+func battery(opt VerifyOptions) []invariant.Check {
 	if opt.HeadlineOnly {
-		checks = invariant.Safety()
+		return invariant.Safety()
 	}
-	eopt := explore.Options{
-		MaxStates: opt.MaxStates,
-		MaxDepth:  opt.MaxDepth,
-		Trace:     opt.Trace,
-		Progress:  opt.Progress,
-		Workers:   opt.Workers,
-		Shards:    opt.Shards,
-		HashOnly:  !opt.Audit,
-		Reduce:    opt.Reduce,
-		Symmetry:  opt.Symmetry,
-		Context:   opt.Context,
+	return invariant.All()
+}
+
+// exploreOptions maps the public VerifyOptions onto the checker's
+// options. Verify and Fingerprint share it so the fingerprint computed
+// without running is exactly the one the checkpoint layer embeds and
+// validates on resume.
+func exploreOptions(opt VerifyOptions) explore.Options {
+	return explore.Options{
+		MaxStates:     opt.MaxStates,
+		MaxDepth:      opt.MaxDepth,
+		Trace:         opt.Trace,
+		Progress:      opt.Progress,
+		ProgressEvery: opt.ProgressEvery,
+		Workers:       opt.Workers,
+		Shards:        opt.Shards,
+		HashOnly:      !opt.Audit,
+		Reduce:        opt.Reduce,
+		Symmetry:      opt.Symmetry,
+		Context:       opt.Context,
 		Checkpoint: explore.CheckpointOptions{
 			Path:        opt.CheckpointPath,
 			EveryLayers: opt.CheckpointEvery,
 		},
 		MemBudget: opt.MemBudget,
 	}
+}
+
+// Fingerprint computes the verdict-relevant options fingerprint of a
+// configuration + options pair without exploring anything: the exact
+// fingerprint the checkpoint layer validates on resume (model config,
+// invariant battery, every option that changes which states are visited
+// or what is checked; worker count excluded), extended with the
+// liveness-pass selections the safety checker does not see. The verdict
+// cache (package server) keys completed verdicts by it, so a repeated
+// submission is recognized before any state is expanded.
+func Fingerprint(cfg ModelConfig, opt VerifyOptions) (uint64, string, error) {
+	m, err := gcmodel.Build(cfg)
+	if err != nil {
+		return 0, "", fmt.Errorf("core: %w", err)
+	}
+	eopt := exploreOptions(opt)
+	if opt.ValidateEffects {
+		// Only non-nil-ness enters the summary; the stubs stand in for
+		// the validator hooks Verify installs.
+		eopt.EventCheck = func(_, _ cimp.System[*gcmodel.Local], _ cimp.Event) error { return nil }
+		eopt.StateCheck = func(cimp.System[*gcmodel.Local]) error { return nil }
+	}
+	_, summary := explore.OptionsFingerprint(m, battery(opt), eopt)
+	summary = fmt.Sprintf("%s liveness=%v liveProps=%v", summary, opt.Liveness, opt.LivenessProps)
+	return gcmodel.Hash64([]byte(summary)), summary, nil
+}
+
+// Verify model-checks a configuration against the paper's invariants.
+func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
+	m, err := gcmodel.Build(cfg)
+	if err != nil {
+		return VerifyResult{}, fmt.Errorf("core: %w", err)
+	}
+	checks := battery(opt)
+	eopt := exploreOptions(opt)
 	if opt.Resume != "" {
 		snap, err := checkpoint.Load(opt.Resume)
 		if err != nil {

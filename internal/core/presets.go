@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// presetBuilders maps preset names to their configuration constructors.
+// The registry is the single source of truth for every CLI and for the
+// verification service: gcmc, gclint, gcsim, gcmcd and the corpus
+// enumerator all resolve presets here, so a preset added once is
+// submittable, lintable and cacheable everywhere.
+var presetBuilders = map[string]func() ModelConfig{
+	"tiny":              TinyConfig,
+	"alloc":             AllocConfig,
+	"two-mutator":       TwoMutatorConfig,
+	"two-mutator-loads": TwoMutatorLoadsConfig,
+	"two-sym":           SymmetricConfig,
+	"chain":             ChainConfig,
+}
+
+// PresetNames lists the shipped presets in a stable (sorted) order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presetBuilders))
+	for n := range presetBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetConfig resolves a preset name to a fresh configuration.
+func PresetConfig(name string) (ModelConfig, error) {
+	b, ok := presetBuilders[name]
+	if !ok {
+		return ModelConfig{}, fmt.Errorf("core: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	return b(), nil
+}
+
+// Ablations is the serializable set of model ablation switches a
+// verification job may apply on top of a preset: the E11/E12/E19
+// mechanism removals, the memory-model swap, and the liveness
+// ablations. It exists so a job specification (package server, gcmc
+// -remote) can name a configuration without shipping the whole
+// ModelConfig, and so every CLI applies flags through one code path.
+type Ablations struct {
+	NoDeletionBarrier     bool `json:"no_deletion_barrier,omitempty"`
+	NoInsertionBarrier    bool `json:"no_insertion_barrier,omitempty"`
+	InsertionBarrierGated bool `json:"insertion_barrier_gated,omitempty"`
+	SCMemory              bool `json:"sc_memory,omitempty"`
+	AllocWhite            bool `json:"alloc_white,omitempty"`
+	UnlockedMark          bool `json:"unlocked_mark,omitempty"`
+	NoHSFence             bool `json:"no_hs_fence,omitempty"`
+	ElideHS1              bool `json:"elide_hs1,omitempty"`
+	ElideHS2              bool `json:"elide_hs2,omitempty"`
+	ElideHS3              bool `json:"elide_hs3,omitempty"`
+	ElideHS4              bool `json:"elide_hs4,omitempty"`
+	MuteHandshake         bool `json:"mute_handshake,omitempty"`
+	NoDequeue             bool `json:"no_dequeue,omitempty"`
+}
+
+// Apply overlays the ablation switches onto cfg.
+func (a Ablations) Apply(cfg *ModelConfig) {
+	cfg.NoDeletionBarrier = a.NoDeletionBarrier
+	cfg.NoInsertionBarrier = a.NoInsertionBarrier
+	cfg.InsertionBarrierOnlyBeforeRootsDone = a.InsertionBarrierGated
+	cfg.SCMemory = a.SCMemory
+	cfg.AllocWhite = a.AllocWhite
+	cfg.UnlockedMark = a.UnlockedMark
+	cfg.NoHSFence = a.NoHSFence
+	cfg.ElideHS1 = a.ElideHS1
+	cfg.ElideHS2 = a.ElideHS2
+	cfg.ElideHS3 = a.ElideHS3
+	cfg.ElideHS4 = a.ElideHS4
+	cfg.MuteHandshake = a.MuteHandshake
+	cfg.NoDequeue = a.NoDequeue
+}
+
+// String renders the active switches as a stable comma-joined label
+// ("" for a clean configuration) — the corpus matrix and verdict
+// records use it as the human-readable cell name.
+func (a Ablations) String() string {
+	var on []string
+	add := func(set bool, name string) {
+		if set {
+			on = append(on, name)
+		}
+	}
+	add(a.NoDeletionBarrier, "no-deletion-barrier")
+	add(a.NoInsertionBarrier, "no-insertion-barrier")
+	add(a.InsertionBarrierGated, "insertion-barrier-gated")
+	add(a.SCMemory, "sc")
+	add(a.AllocWhite, "alloc-white")
+	add(a.UnlockedMark, "unlocked-mark")
+	add(a.NoHSFence, "no-hs-fence")
+	add(a.ElideHS1, "elide-hs1")
+	add(a.ElideHS2, "elide-hs2")
+	add(a.ElideHS3, "elide-hs3")
+	add(a.ElideHS4, "elide-hs4")
+	add(a.MuteHandshake, "mute-handshake")
+	add(a.NoDequeue, "no-dequeue")
+	return strings.Join(on, ",")
+}

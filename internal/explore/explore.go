@@ -527,7 +527,7 @@ func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invari
 	} else {
 		e.fp = m.AppendFingerprint
 	}
-	e.optFP, e.optSummary = optionsFingerprint(m, checks, opt)
+	e.optFP, e.optSummary = OptionsFingerprint(m, checks, opt)
 	if e.memSample == nil {
 		e.memSample = func() uint64 {
 			var ms runtime.MemStats
@@ -540,14 +540,17 @@ func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invari
 	return res
 }
 
-// optionsFingerprint hashes everything the verdict depends on: the model
+// OptionsFingerprint hashes everything the verdict depends on: the model
 // configuration and every exploration option that changes which states
 // are visited, what is checked, or how the visited set is keyed and laid
 // out. The worker count is deliberately excluded (the layer barrier
 // makes verdicts worker-count independent), so a checkpoint may be
 // resumed with different parallelism. The summary string is embedded in
-// checkpoints so a refused resume can say what differed.
-func optionsFingerprint(m *gcmodel.Model, checks []invariant.Check, opt Options) (uint64, string) {
+// checkpoints so a refused resume can say what differed. It is exported
+// so the job layer (package core) and the verdict cache (package server)
+// can key cached verdicts by the exact fingerprint the checkpoint layer
+// validates on resume.
+func OptionsFingerprint(m *gcmodel.Model, checks []invariant.Check, opt Options) (uint64, string) {
 	shards := opt.Shards
 	if shards <= 0 {
 		shards = 64

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/verdict"
+)
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Spec core.JobSpec `json:"spec"`
+	// Priority orders the queue (lower runs sooner; default 0 for
+	// interactive jobs, corpus background jobs use 100).
+	Priority int `json:"priority,omitempty"`
+}
+
+// JobInfo is the API snapshot of one job.
+type JobInfo struct {
+	ID          string        `json:"id"`
+	State       core.JobState `json:"state"`
+	Spec        core.JobSpec  `json:"spec"`
+	Fingerprint string        `json:"fingerprint"`
+	Priority    int           `json:"priority"`
+	Corpus      bool          `json:"corpus,omitempty"`
+	// Cached marks a job satisfied entirely from the verdict cache.
+	Cached bool `json:"cached,omitempty"`
+	// Resumed marks a job that restarted from a checkpoint after a
+	// daemon crash or shutdown.
+	Resumed       bool       `json:"resumed,omitempty"`
+	HasCheckpoint bool       `json:"has_checkpoint,omitempty"`
+	Submitted     time.Time  `json:"submitted"`
+	Started       *time.Time `json:"started,omitempty"`
+	Finished      *time.Time `json:"finished,omitempty"`
+
+	Progress *ProgressInfo   `json:"progress,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Verdict  *verdict.Record `json:"verdict,omitempty"`
+}
+
+// ProgressInfo is the latest checker progress report for a running job.
+type ProgressInfo struct {
+	States      int     `json:"states"`
+	Transitions int     `json:"transitions"`
+	Depth       int     `json:"depth"`
+	Frontier    int     `json:"frontier"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+}
+
+// Metrics is the GET /metrics body.
+type Metrics struct {
+	Build          string         `json:"build"`
+	UptimeSec      float64        `json:"uptime_sec"`
+	Workers        int            `json:"workers"`
+	QueueDepth     int            `json:"queue_depth"`
+	JobsByState    map[string]int `json:"jobs_by_state"`
+	CacheHits      int64          `json:"cache_hits"`
+	CacheMisses    int64          `json:"cache_misses"`
+	CacheEntries   int            `json:"cache_entries"`
+	StatesExplored int64          `json:"states_explored"`
+	StatesPerSec   float64        `json:"states_per_sec"`
+	HeapAllocBytes uint64         `json:"heap_alloc_bytes"`
+	Jobs           []JobMetric    `json:"jobs,omitempty"`
+}
+
+// JobMetric is the per-job slice of /metrics.
+type JobMetric struct {
+	ID           string        `json:"id"`
+	State        core.JobState `json:"state"`
+	States       int           `json:"states"`
+	MemBudgetMiB int           `json:"mem_budget_mib,omitempty"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status string `json:"status"`
+	Build  string `json:"build"`
+}
+
+// persistedJob is the on-disk job record (jobs/<id>/job.json).
+type persistedJob struct {
+	ID        string        `json:"id"`
+	Spec      core.JobSpec  `json:"spec"`
+	State     core.JobState `json:"state"`
+	Priority  int           `json:"priority"`
+	Corpus    bool          `json:"corpus,omitempty"`
+	Cached    bool          `json:"cached,omitempty"`
+	Resumed   bool          `json:"resumed,omitempty"`
+	Submitted time.Time     `json:"submitted"`
+	Started   time.Time     `json:"started,omitempty"`
+	Finished  time.Time     `json:"finished,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// jobQueue is a priority heap: lower Priority first, FIFO within a
+// priority level (pushSeq tiebreak).
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].pushSeq < q[j].pushSeq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// sortJobs orders API listings newest-first (by id, which is
+// monotonic).
+func sortJobs(jobs []JobInfo) {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID > jobs[j].ID })
+}
+
+func sortJobMetrics(jobs []JobMetric) {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+}
+
+// writeJSONAtomic marshals v and writes it with the checkpoint
+// package's discipline: tmp file, fsync, rename. A job record is never
+// half-written, whatever kills the process.
+func writeJSONAtomic(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: marshal %s: %w", path, err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// readJSON loads a JSON file into v.
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("server: parse %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/verdict"
+)
+
+// cacheSchema tags on-disk cache entries.
+const cacheSchema = "gcmc.cache/v1"
+
+// cacheEntry is one file under <data>/cache/: a verdict record wrapped
+// with its fingerprint, the human-readable options summary it matched,
+// and a CRC-32 over the record bytes. The checksum is what lets a
+// restarted daemon trust a cache it did not write this run: a torn or
+// bit-rotted entry fails the check and is skipped, never served.
+type cacheEntry struct {
+	Schema      string          `json:"schema"`
+	Fingerprint string          `json:"fingerprint"`
+	Summary     string          `json:"summary,omitempty"`
+	CRC32       uint32          `json:"crc32"`
+	Record      json.RawMessage `json:"record"`
+}
+
+// cache is the CRC-checked on-disk verdict index, keyed by the options
+// fingerprint, with an in-memory mirror for lookups.
+type cache struct {
+	dir string
+	log *log.Logger
+
+	mu   sync.Mutex
+	recs map[uint64]*verdict.Record
+}
+
+// openCache creates the cache directory if needed and loads every
+// valid entry; corrupt files are logged and skipped.
+func openCache(dir string, lg *log.Logger) (*cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	c := &cache{dir: dir, log: lg, recs: make(map[uint64]*verdict.Record)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		fp, rec, err := loadEntry(path)
+		if err != nil {
+			lg.Printf("cache: skipping %s: %v", ent.Name(), err)
+			continue
+		}
+		c.recs[fp] = rec
+	}
+	return c, nil
+}
+
+// loadEntry parses and checksums one cache file.
+func loadEntry(path string) (uint64, *verdict.Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(b, &ent); err != nil {
+		return 0, nil, fmt.Errorf("parse: %w", err)
+	}
+	if ent.Schema != cacheSchema {
+		return 0, nil, fmt.Errorf("schema %q (want %q)", ent.Schema, cacheSchema)
+	}
+	// The CRC covers the compact form: the enclosing file is written
+	// indented (which reformats the embedded raw record), so the
+	// checksum must be whitespace-insensitive to survive a round trip
+	// while still catching any content change.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, ent.Record); err != nil {
+		return 0, nil, fmt.Errorf("record: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(compact.Bytes()); got != ent.CRC32 {
+		return 0, nil, fmt.Errorf("crc mismatch: file says %08x, record hashes to %08x", ent.CRC32, got)
+	}
+	var fp uint64
+	if _, err := fmt.Sscanf(ent.Fingerprint, "%x", &fp); err != nil {
+		return 0, nil, fmt.Errorf("fingerprint %q: %w", ent.Fingerprint, err)
+	}
+	var rec verdict.Record
+	if err := json.Unmarshal(ent.Record, &rec); err != nil {
+		return 0, nil, fmt.Errorf("record: %w", err)
+	}
+	return fp, &rec, nil
+}
+
+// get returns the cached verdict for a fingerprint.
+func (c *cache) get(fp uint64) (*verdict.Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.recs[fp]
+	return rec, ok
+}
+
+// put stores a verdict, atomically writing the checksummed entry file.
+func (c *cache) put(fp uint64, summary string, rec verdict.Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: cache marshal: %w", err)
+	}
+	ent := cacheEntry{
+		Schema:      cacheSchema,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Summary:     summary,
+		CRC32:       crc32.ChecksumIEEE(raw),
+		Record:      raw,
+	}
+	path := filepath.Join(c.dir, ent.Fingerprint+".json")
+	if err := writeJSONAtomic(path, &ent); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.recs[fp] = &rec
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}

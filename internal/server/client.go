@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/verdict"
+)
+
+// Client is the thin HTTP client the gcmc -remote mode (and tests)
+// speak to a gcmcd daemon with.
+type Client struct {
+	// Base is the daemon address, e.g. "http://127.0.0.1:8322".
+	Base string
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out,
+// converting API error bodies into Go errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("client: %s %s: %s", method, path, ae.Error)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: %s %s: parse: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit posts a job spec.
+func (c *Client) Submit(ctx context.Context, spec core.JobSpec, priority int) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", SubmitRequest{Spec: spec, Priority: priority}, &info)
+	return info, err
+}
+
+// Job fetches one job snapshot.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Jobs lists all jobs.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel stops a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Wait polls until the job reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Stream follows the job's NDJSON progress stream, invoking fn (which
+// may be nil) per snapshot, and returns the terminal snapshot. If the
+// stream drops before the job settles, Stream falls back to polling.
+func (c *Client) Stream(ctx context.Context, id string, fn func(JobInfo)) (JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("client: stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		resp.Body.Close()
+		return c.Job(ctx, id)
+	}
+	var last JobInfo
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var info JobInfo
+		if err := json.Unmarshal(line, &info); err != nil {
+			return last, fmt.Errorf("client: stream %s: parse: %w", id, err)
+		}
+		last = info
+		if fn != nil {
+			fn(info)
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() != nil {
+		return last, ctx.Err()
+	}
+	// Stream ended without a terminal line (daemon restarting, proxy
+	// timeout): fall back to polling.
+	return c.Wait(ctx, id, 0)
+}
+
+// Verdict looks up a cached verdict by fingerprint (hex).
+func (c *Client) Verdict(ctx context.Context, fingerprint string) (*verdict.Record, error) {
+	var rec verdict.Record
+	if err := c.do(ctx, http.MethodGet, "/v1/verdicts?fingerprint="+fingerprint, nil, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Corpus fetches the corpus matrix.
+func (c *Client) Corpus(ctx context.Context) ([]CorpusCell, error) {
+	var cells []CorpusCell
+	err := c.do(ctx, http.MethodGet, "/v1/corpus", nil, &cells)
+	return cells, err
+}
+
+// EnqueueCorpus asks the daemon to enqueue the corpus matrix.
+func (c *Client) EnqueueCorpus(ctx context.Context) (int, error) {
+	var out map[string]int
+	if err := c.do(ctx, http.MethodPost, "/v1/corpus", nil, &out); err != nil {
+		return 0, err
+	}
+	return out["enqueued"], nil
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}

@@ -1,0 +1,696 @@
+// Package server turns the model checker into a long-running
+// verification service: an HTTP/JSON daemon (cmd/gcmcd) that accepts
+// verification jobs (core.JobSpec: preset + ablations + options), runs
+// them on a bounded worker pool with per-job memory budgets, streams
+// progress as NDJSON, and persists every job under a managed data
+// directory.
+//
+// # Durability
+//
+// Every job checkpoints at the checker's layer barriers (internal/
+// checkpoint) into its own job directory, and every state transition is
+// persisted atomically, so a daemon that crashes — or is SIGKILLed —
+// mid-job resumes in-flight work on restart: jobs found non-terminal
+// are re-enqueued, resuming from their latest checkpoint when one
+// exists, and the resumed run's verdict is byte-identical (in canonical
+// form, see verdict.Record.Canonical) to an uninterrupted run's.
+//
+// Completed verdicts are cached in a CRC-checked on-disk index keyed by
+// the options fingerprint (core.Fingerprint — the same fingerprint the
+// checkpoint layer validates on resume), so resubmitting an identical
+// configuration returns the cached verdict instantly, with zero new
+// states explored.
+//
+// # Layout
+//
+//	<data>/jobs/<id>/job.json     job record (spec, state, times)
+//	<data>/jobs/<id>/run.ckpt     layer-barrier checkpoint (GCMCCKP1)
+//	<data>/jobs/<id>/verdict.json final verdict.Record
+//	<data>/cache/<fp>.json        CRC-checked cached verdict
+//
+// # Corpus mode
+//
+// EnqueueCorpus enumerates the full preset x ablation x {TSO,SC}
+// matrix as low-priority background jobs, so the whole catalogue stays
+// continuously verified while interactive submissions jump the queue.
+package server
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/verdict"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// DataDir is the managed data directory (created if missing).
+	DataDir string
+	// Workers is the number of concurrent verification jobs (default 1;
+	// each job additionally runs its own checker goroutines per
+	// core.JobOptions.Workers).
+	Workers int
+	// CheckpointEvery is the default snapshot cadence in BFS layers for
+	// jobs that do not set one (default 4 — tighter than the CLI's 16,
+	// because a service's whole point is cheap recovery).
+	CheckpointEvery int
+	// MemBudgetMiB is the default per-job soft heap budget for jobs
+	// that do not set one (0 = none).
+	MemBudgetMiB int
+	// CorpusMaxStates caps each corpus cell's exploration (default
+	// 50000) so the background matrix stays tractable.
+	CorpusMaxStates int
+	// CorpusPresets restricts the corpus matrix to these presets
+	// (nil = every shipped preset).
+	CorpusPresets []string
+	// Log receives service events (nil = discard).
+	Log *log.Logger
+}
+
+// Engine is the verification service: a job queue, a worker pool, the
+// on-disk job store and the verdict cache. It is safe for concurrent
+// use; Handler exposes it over HTTP.
+type Engine struct {
+	opt   Options
+	log   *log.Logger
+	cache *cache
+	start time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*job
+	queue  jobQueue
+	seq    int
+	pushes int // queue-insertion tiebreaker
+	closed bool
+	wg     sync.WaitGroup
+
+	cacheHits, cacheMisses int64
+	statesExplored         int64
+	corpusCells            []CorpusCell // memoized matrix
+}
+
+// job is the engine-internal job state; all fields are guarded by
+// Engine.mu.
+type job struct {
+	id        string
+	spec      core.JobSpec
+	fp        uint64
+	summary   string
+	state     core.JobState
+	priority  int
+	corpus    bool
+	cached    bool
+	resumed   bool
+	cancelReq bool
+	pushSeq   int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  *ProgressInfo
+	lastState int
+	errMsg    string
+	verdict   *verdict.Record
+	cancel    context.CancelFunc
+	subs      map[chan JobInfo]struct{}
+}
+
+// New opens (or creates) the data directory, loads the verdict cache,
+// recovers persisted jobs — re-enqueueing any that were queued, running
+// or interrupted when the previous process died — and starts the worker
+// pool.
+func New(opt Options) (*Engine, error) {
+	if opt.DataDir == "" {
+		return nil, fmt.Errorf("server: DataDir is required")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 4
+	}
+	if opt.CorpusMaxStates <= 0 {
+		opt.CorpusMaxStates = 50000
+	}
+	lg := opt.Log
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	for _, d := range []string{opt.DataDir, filepath.Join(opt.DataDir, "jobs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	c, err := openCache(filepath.Join(opt.DataDir, "cache"), lg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opt:   opt,
+		log:   lg,
+		cache: c,
+		start: time.Now(),
+		jobs:  make(map[string]*job),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opt.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Build reports the engine's build identity (also in /healthz).
+func (e *Engine) Build() string { return buildinfo.String() }
+
+// jobDir and jobFile name the on-disk layout.
+func (e *Engine) jobDir(id string) string { return filepath.Join(e.opt.DataDir, "jobs", id) }
+func (e *Engine) jobFile(id, name string) string {
+	return filepath.Join(e.jobDir(id), name)
+}
+
+// normalize applies the engine defaults a spec did not set. Neither
+// field enters the options fingerprint, so defaults never change which
+// cached verdict a spec matches.
+func (e *Engine) normalize(spec core.JobSpec) core.JobSpec {
+	if spec.Options.CheckpointEvery <= 0 {
+		spec.Options.CheckpointEvery = e.opt.CheckpointEvery
+	}
+	if spec.Options.MemBudgetMiB <= 0 {
+		spec.Options.MemBudgetMiB = e.opt.MemBudgetMiB
+	}
+	return spec
+}
+
+// Submit validates the spec, consults the verdict cache, and either
+// returns a completed cache-hit job immediately or enqueues a new run.
+// An already-queued or running job with the same fingerprint is
+// coalesced (its record is returned instead of a duplicate being
+// enqueued).
+func (e *Engine) Submit(spec core.JobSpec, priority int, corpus bool) (JobInfo, error) {
+	spec = e.normalize(spec)
+	fp, summary, err := spec.Fingerprint()
+	if err != nil {
+		return JobInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return JobInfo{}, fmt.Errorf("server: shutting down")
+	}
+	// Coalesce with an identical in-flight job.
+	for _, j := range e.jobs {
+		if j.fp == fp && !j.state.Terminal() {
+			return e.infoLocked(j), nil
+		}
+	}
+	j := &job{
+		spec:      spec,
+		fp:        fp,
+		summary:   summary,
+		priority:  priority,
+		corpus:    corpus,
+		submitted: time.Now(),
+		subs:      make(map[chan JobInfo]struct{}),
+	}
+	e.seq++
+	j.id = fmt.Sprintf("j%06d", e.seq)
+	if rec, ok := e.cache.get(fp); ok {
+		e.cacheHits++
+		hit := *rec
+		hit.Cached = true
+		j.state = core.JobDone
+		j.cached = true
+		j.verdict = &hit
+		j.finished = j.submitted
+		e.jobs[j.id] = j
+		if err := e.persistLocked(j); err != nil {
+			return JobInfo{}, err
+		}
+		if err := writeJSONAtomic(e.jobFile(j.id, "verdict.json"), &hit); err != nil {
+			return JobInfo{}, err
+		}
+		e.log.Printf("job %s: cache hit (fp %016x, %s)", j.id, fp, spec.Preset)
+		return e.infoLocked(j), nil
+	}
+	e.cacheMisses++
+	j.state = core.JobQueued
+	e.jobs[j.id] = j
+	if err := e.persistLocked(j); err != nil {
+		delete(e.jobs, j.id)
+		return JobInfo{}, err
+	}
+	e.pushLocked(j)
+	e.log.Printf("job %s: queued (fp %016x, %s prio %d)", j.id, fp, spec.Preset, priority)
+	return e.infoLocked(j), nil
+}
+
+// pushLocked enqueues j and wakes a worker.
+func (e *Engine) pushLocked(j *job) {
+	e.pushes++
+	j.pushSeq = e.pushes
+	heap.Push(&e.queue, j)
+	e.cond.Signal()
+}
+
+// Get returns a job snapshot.
+func (e *Engine) Get(id string) (JobInfo, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return e.infoLocked(j), true
+}
+
+// List returns snapshots of every job, newest first.
+func (e *Engine) List() []JobInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobInfo, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		out = append(out, e.infoLocked(j))
+	}
+	sortJobs(out)
+	return out
+}
+
+// Cancel stops a job: a queued job is cancelled in place, a running one
+// has its context cancelled (the checker finishes its current layer,
+// writes a final checkpoint, and the job lands in the cancelled state).
+// Cancelling a terminal job is a no-op.
+func (e *Engine) Cancel(id string) (JobInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("server: no job %q", id)
+	}
+	if j.state.Terminal() {
+		return e.infoLocked(j), nil
+	}
+	j.cancelReq = true
+	switch j.state {
+	case core.JobQueued, core.JobResuming, core.JobInterrupted:
+		j.state = core.JobCancelled
+		j.finished = time.Now()
+		if err := e.persistLocked(j); err != nil {
+			return JobInfo{}, err
+		}
+		e.notifyLocked(j)
+	case core.JobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return e.infoLocked(j), nil
+}
+
+// Subscribe returns a channel of progress snapshots for the job; the
+// channel closes when the job reaches a terminal state (or the
+// subscription is cancelled). ok is false for unknown jobs.
+func (e *Engine) Subscribe(id string) (<-chan JobInfo, func(), bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	ch := make(chan JobInfo, 16)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, true
+	}
+	j.subs[ch] = struct{}{}
+	cancel := func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, cancel, true
+}
+
+// CachedVerdict looks a fingerprint (hex) up in the verdict cache.
+func (e *Engine) CachedVerdict(fpHex string) (*verdict.Record, bool) {
+	var fp uint64
+	if _, err := fmt.Sscanf(fpHex, "%x", &fp); err != nil {
+		return nil, false
+	}
+	rec, ok := e.cache.get(fp)
+	if !ok {
+		return nil, false
+	}
+	hit := *rec
+	hit.Cached = true
+	return &hit, true
+}
+
+// Shutdown stops the engine gracefully: intake closes, every running
+// job's context is cancelled (the checker finishes its current layer
+// and writes a final checkpoint), and the workers drain. Interrupted
+// jobs persist in the interrupted state and resume on the next start.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	e.closed = true
+	for _, j := range e.jobs {
+		if j.state == core.JobRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// recover loads persisted jobs from the data directory and re-enqueues
+// every non-terminal one — the crash-recovery path. A job with a
+// checkpoint resumes from it (state "resuming"); one killed before its
+// first snapshot restarts from scratch (state "queued").
+func (e *Engine) recover() error {
+	dirs, err := os.ReadDir(filepath.Join(e.opt.DataDir, "jobs"))
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		id := d.Name()
+		var pj persistedJob
+		if err := readJSON(e.jobFile(id, "job.json"), &pj); err != nil {
+			e.log.Printf("recover: skipping %s: %v", id, err)
+			continue
+		}
+		spec := e.normalize(pj.Spec)
+		fp, summary, err := spec.Fingerprint()
+		if err != nil {
+			e.log.Printf("recover: skipping %s: %v", id, err)
+			continue
+		}
+		j := &job{
+			id:        id,
+			spec:      spec,
+			fp:        fp,
+			summary:   summary,
+			state:     pj.State,
+			priority:  pj.Priority,
+			corpus:    pj.Corpus,
+			cached:    pj.Cached,
+			resumed:   pj.Resumed,
+			submitted: pj.Submitted,
+			started:   pj.Started,
+			finished:  pj.Finished,
+			errMsg:    pj.Error,
+			subs:      make(map[chan JobInfo]struct{}),
+		}
+		if n := numericSuffix(id); n > e.seq {
+			e.seq = n
+		}
+		if j.state.Terminal() {
+			if j.state == core.JobDone {
+				var rec verdict.Record
+				if err := readJSON(e.jobFile(id, "verdict.json"), &rec); err == nil {
+					j.verdict = &rec
+				} else if cached, ok := e.cache.get(fp); ok {
+					j.verdict = cached
+				} else {
+					e.log.Printf("recover: %s done but verdict unreadable: %v", id, err)
+				}
+			}
+			e.jobs[id] = j
+			continue
+		}
+		// Non-terminal: the previous process died (or was killed) with
+		// this job in flight. Re-enqueue it, resuming from the latest
+		// checkpoint when one survived.
+		if _, err := os.Stat(e.jobFile(id, "run.ckpt")); err == nil {
+			j.state = core.JobResuming
+			j.resumed = true
+		} else {
+			j.state = core.JobQueued
+		}
+		e.jobs[id] = j
+		if err := e.persistLocked(j); err != nil {
+			return err
+		}
+		e.pushLocked(j)
+		e.log.Printf("recover: %s re-enqueued as %s (fp %016x)", id, j.state, fp)
+	}
+	return nil
+}
+
+// numericSuffix parses the numeric part of a jNNNNNN id (0 otherwise).
+func numericSuffix(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// worker runs jobs until the engine closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for !e.closed && e.queue.Len() == 0 {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&e.queue).(*job)
+		if j.state != core.JobQueued && j.state != core.JobResuming {
+			// Cancelled while queued; nothing to run.
+			e.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		j.state = core.JobRunning
+		j.started = time.Now()
+		perr := e.persistLocked(j)
+		e.notifyLocked(j)
+		e.mu.Unlock()
+		if perr != nil {
+			e.log.Printf("job %s: persist: %v", j.id, perr)
+		}
+		e.runJob(ctx, j)
+		cancel()
+	}
+}
+
+// runJob executes one job and settles its terminal (or interrupted)
+// state.
+func (e *Engine) runJob(ctx context.Context, j *job) {
+	e.log.Printf("job %s: running (%s %s)", j.id, j.spec.Preset, j.spec.Ablations)
+	res, resumed, err := core.RunJob(j.spec, core.JobRun{
+		CheckpointPath: e.jobFile(j.id, "run.ckpt"),
+		Resume:         true,
+		Context:        ctx,
+		Progress:       func(p core.Progress) { e.onProgress(j, p) },
+		// Stream subscribers want reports well before the checker's
+		// 8192-state default on small jobs.
+		ProgressEvery: 500,
+	})
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j.resumed = j.resumed || resumed
+	if n := res.States - j.lastState; n > 0 {
+		e.statesExplored += int64(n)
+		j.lastState = res.States
+	}
+	switch {
+	case err != nil:
+		j.state = core.JobFailed
+		j.errMsg = err.Error()
+	case res.Stopped == explore.StopInterrupted:
+		if j.cancelReq {
+			j.state = core.JobCancelled
+		} else {
+			// Engine shutdown: the final checkpoint is on disk and the
+			// job resumes on the next start.
+			j.state = core.JobInterrupted
+		}
+	case res.Stopped == explore.StopPanic:
+		j.state = core.JobFailed
+		j.errMsg = res.Err.Error()
+	default:
+		j.state = core.JobDone
+		rec := verdict.New(j.spec.Preset, j.spec.Ablations, j.fp, res)
+		rec.Build = buildinfo.String()
+		j.verdict = &rec
+		if err := writeJSONAtomic(e.jobFile(j.id, "verdict.json"), &rec); err != nil {
+			e.log.Printf("job %s: verdict persist: %v", j.id, err)
+		}
+		if err := e.cache.put(j.fp, j.summary, rec); err != nil {
+			e.log.Printf("job %s: cache: %v", j.id, err)
+		}
+	}
+	j.finished = time.Now()
+	if err := e.persistLocked(j); err != nil {
+		e.log.Printf("job %s: persist: %v", j.id, err)
+	}
+	e.notifyLocked(j)
+	e.log.Printf("job %s: %s (%d states, resumed=%v)", j.id, j.state, res.States, j.resumed)
+}
+
+// onProgress publishes a checker progress report to the job record,
+// the engine counters, and every stream subscriber.
+func (e *Engine) onProgress(j *job, p core.Progress) {
+	e.mu.Lock()
+	j.progress = &ProgressInfo{
+		States:      p.States,
+		Transitions: p.Transitions,
+		Depth:       p.Depth,
+		Frontier:    p.Frontier,
+		ElapsedSec:  p.Elapsed.Seconds(),
+	}
+	if n := p.States - j.lastState; n > 0 {
+		e.statesExplored += int64(n)
+		j.lastState = p.States
+	}
+	info := e.infoLocked(j)
+	subs := make([]chan JobInfo, 0, len(j.subs))
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	e.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- info:
+		default: // slow subscriber: drop the intermediate report
+		}
+	}
+}
+
+// notifyLocked publishes a state transition; terminal transitions close
+// every subscription (subscribers then fetch the final record).
+func (e *Engine) notifyLocked(j *job) {
+	info := e.infoLocked(j)
+	for ch := range j.subs {
+		select {
+		case ch <- info:
+		default:
+		}
+		if j.state.Terminal() {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// persistLocked writes the job record atomically.
+func (e *Engine) persistLocked(j *job) error {
+	if err := os.MkdirAll(e.jobDir(j.id), 0o755); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return writeJSONAtomic(e.jobFile(j.id, "job.json"), persistedJob{
+		ID:        j.id,
+		Spec:      j.spec,
+		State:     j.state,
+		Priority:  j.priority,
+		Corpus:    j.corpus,
+		Cached:    j.cached,
+		Resumed:   j.resumed,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Error:     j.errMsg,
+	})
+}
+
+// infoLocked snapshots a job for the API.
+func (e *Engine) infoLocked(j *job) JobInfo {
+	info := JobInfo{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Fingerprint: fmt.Sprintf("%016x", j.fp),
+		Priority:    j.priority,
+		Corpus:      j.corpus,
+		Cached:      j.cached,
+		Resumed:     j.resumed,
+		Submitted:   j.submitted,
+		Progress:    j.progress,
+		Error:       j.errMsg,
+		Verdict:     j.verdict,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+	}
+	if _, err := os.Stat(e.jobFile(j.id, "run.ckpt")); err == nil {
+		info.HasCheckpoint = true
+	}
+	return info
+}
+
+// Metrics reports the service counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := Metrics{
+		Build:          buildinfo.String(),
+		UptimeSec:      time.Since(e.start).Seconds(),
+		Workers:        e.opt.Workers,
+		QueueDepth:     e.queue.Len(),
+		JobsByState:    map[string]int{},
+		CacheHits:      e.cacheHits,
+		CacheMisses:    e.cacheMisses,
+		CacheEntries:   e.cache.len(),
+		StatesExplored: e.statesExplored,
+	}
+	if m.UptimeSec > 0 {
+		m.StatesPerSec = float64(e.statesExplored) / m.UptimeSec
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapAllocBytes = ms.HeapAlloc
+	for _, j := range e.jobs {
+		m.JobsByState[string(j.state)]++
+		jm := JobMetric{ID: j.id, State: j.state, MemBudgetMiB: j.spec.Options.MemBudgetMiB}
+		if j.progress != nil {
+			jm.States = j.progress.States
+		} else if j.verdict != nil {
+			jm.States = j.verdict.States
+		}
+		m.Jobs = append(m.Jobs, jm)
+	}
+	sortJobMetrics(m.Jobs)
+	return m
+}
