@@ -19,14 +19,25 @@
 //     cross-check (expecting static soundness: every program whose TSO
 //     outcomes exceed SC is flagged). Exit status 1 on any surprise.
 //
-//   - -gosrc: lint the checker's own Go source instead of the model.
-//     Two passes over the repository: the fingerprint call graph of
-//     internal/gcmodel must contain no map iteration (order is
-//     randomized, so one would make verdicts nondeterministic), and
-//     every goroutine spawned in internal/explore and internal/liveness
-//     must install a deferred recover guard (an unguarded worker panic
-//     kills the whole verification run, defeating the durability
-//     layer). Exit status 1 on any finding.
+//   - -gosrc: lint the checker's and runtime's own Go source instead
+//     of the model. The fingerprint call graph of internal/gcmodel must
+//     contain no map iteration (order is randomized, so one would make
+//     verdicts nondeterministic); every goroutine spawned in
+//     internal/explore, internal/liveness, internal/server and
+//     internal/gcrt must install a deferred recover guard; and the
+//     gortlint conformance passes run over the concrete collector
+//     (field-access discipline, write-barrier coverage, publication
+//     discipline, benchmark-hook confinement) and the verification
+//     service (discipline again — the analyzer is generic over the
+//     table). Exit status 1 on any finding; -json emits the
+//     gclint.gosrc/v1 report.
+//
+//   - -gosrc-fixtures: run every gortlint pass against its seeded-
+//     defect fixture tree instead of the real one. Each fixture must
+//     produce at least its expected number of findings — the smoke that
+//     proves the zero-findings gate still has teeth. Exit status 1 when
+//     every fixture fires (findings present = healthy, matching the
+//     ablation smokes); 0 signals a detection regression.
 //
 // SIGINT/SIGTERM interrupt -all and -litmus gracefully between items:
 // the partial report prints, marked INCOMPLETE, and the process exits
@@ -52,6 +63,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -60,6 +72,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/golint"
+	"repro/internal/analysis/gortlint"
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/litmus"
@@ -86,7 +99,8 @@ func main() {
 		litmusMode = flag.Bool("litmus", false, "analyze the litmus catalogue instead of a model configuration")
 		dyn        = flag.Bool("dyn", false, "litmus: cross-check each static verdict against TSO/SC exploration")
 		all        = flag.Bool("all", false, "CI gate: lint every preset and the litmus catalogue with -dyn")
-		gosrc      = flag.Bool("gosrc", false, "lint the checker's own Go source: fingerprint map iteration + goroutine recover guards")
+		gosrc      = flag.Bool("gosrc", false, "lint the checker's and runtime's own Go source: fingerprint map order, recover guards, and the gortlint conformance passes")
+		gosrcFix   = flag.Bool("gosrc-fixtures", false, "run the gortlint passes against their seeded-defect fixtures (exit 1 = every defect still caught)")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		version    = flag.Bool("version", false, "print build identity and exit")
 	)
@@ -107,8 +121,10 @@ func main() {
 	}()
 
 	switch {
+	case *gosrcFix:
+		os.Exit(runGoSrcFixtures())
 	case *gosrc:
-		os.Exit(runGoSrc())
+		os.Exit(runGoSrc(*jsonOut))
 	case *all:
 		os.Exit(runAll(ctx, *jsonOut))
 	case *litmusMode:
@@ -252,32 +268,52 @@ func runAll(ctx context.Context, jsonOut bool) int {
 	return status
 }
 
-// runGoSrc lints the checker's own Go source: the fingerprint call
-// graph must be map-iteration free and every verification-worker spawn
-// must carry a recover guard. Directories are resolved against the
+// runGoSrc lints the checker's and runtime's own Go source: the
+// fingerprint call graph must be map-iteration free, every
+// verification-worker spawn must carry a recover guard, and the
+// gortlint conformance passes must find the concrete collector and the
+// verification service clean. Directories are resolved against the
 // enclosing module root, so the gate works from any working directory
-// inside the repository.
-func runGoSrc() int {
+// inside the repository. With jsonOut the gclint.gosrc/v1 report is
+// emitted on stdout.
+func runGoSrc(jsonOut bool) int {
 	root, err := golint.ModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gclint:", err)
 		return 2
 	}
 	status := 0
+	rep := verdict.GoSrcLint{Schema: verdict.GoSrcSchema, Clean: true}
 	report := func(pass, dir string, diags []golint.Diagnostic, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gclint: %s: %v\n", pass, err)
 			status = 2
 			return
 		}
+		p := verdict.GoSrcPass{Pass: pass, Dir: dir, Clean: len(diags) == 0}
 		for _, d := range diags {
-			fmt.Printf("%s: %s\n", pass, d)
+			p.Findings = append(p.Findings, verdict.GoSrcFinding{
+				Pos:     relPos(root, d.Pos),
+				Func:    d.Func,
+				Message: d.Message,
+			})
+		}
+		rep.Passes = append(rep.Passes, p)
+		if !p.Clean {
+			rep.Clean = false
 			if status == 0 {
 				status = 1
 			}
 		}
-		if len(diags) == 0 {
+		if jsonOut {
+			return
+		}
+		if p.Clean {
 			fmt.Printf("%s: %s: clean\n", pass, dir)
+			return
+		}
+		for _, f := range p.Findings {
+			fmt.Printf("%s: %s: %s: %s\n", pass, f.Pos, f.Func, f.Message)
 		}
 	}
 
@@ -286,13 +322,98 @@ func runGoSrc() int {
 	report("fingerprint-map-order", "internal/gcmodel", diags, err)
 
 	for _, rel := range []string{
-		filepath.Join("internal", "explore"),
-		filepath.Join("internal", "liveness"),
+		"internal/explore",
+		"internal/liveness",
+		"internal/server",
+		"internal/gcrt",
 	} {
-		diags, err := golint.CheckGoRecover(filepath.Join(root, rel))
+		diags, err := golint.CheckGoRecover(filepath.Join(root, filepath.FromSlash(rel)))
 		report("goroutine-recover-guard", rel, diags, err)
 	}
+
+	// The gortlint conformance passes share one loaded module per tree.
+	gcrtDirs := make([]string, 0, len(gortlint.GCRTDirs()))
+	for _, rel := range gortlint.GCRTDirs() {
+		gcrtDirs = append(gcrtDirs, filepath.Join(root, filepath.FromSlash(rel)))
+	}
+	if mod, merr := golint.LoadPackages(gcrtDirs...); merr != nil {
+		fmt.Fprintln(os.Stderr, "gclint: load internal/gcrt:", merr)
+		status = 2
+	} else {
+		d, e := gortlint.CheckDiscipline(mod, gortlint.GCRTDiscipline())
+		report("gcrt-discipline", "internal/gcrt", d, e)
+		d, e = gortlint.CheckBarriers(mod, gortlint.GCRTBarriers())
+		report("gcrt-barriers", "internal/gcrt", d, e)
+		d, e = gortlint.CheckPublish(mod, gortlint.GCRTPublish())
+		report("gcrt-publication", "internal/gcrt", d, e)
+		d, e = gortlint.CheckHooks(mod, gortlint.GCRTHooks())
+		report("gcrt-bench-hooks", "internal/gcrt", d, e)
+	}
+
+	serverDirs := make([]string, 0, len(gortlint.ServerDirs()))
+	for _, rel := range gortlint.ServerDirs() {
+		serverDirs = append(serverDirs, filepath.Join(root, filepath.FromSlash(rel)))
+	}
+	if mod, merr := golint.LoadPackages(serverDirs...); merr != nil {
+		fmt.Fprintln(os.Stderr, "gclint: load internal/server:", merr)
+		status = 2
+	} else {
+		d, e := gortlint.CheckDiscipline(mod, gortlint.ServerDiscipline())
+		report("server-discipline", "internal/server", d, e)
+	}
+
+	if jsonOut {
+		emit(rep)
+	}
 	return status
+}
+
+// runGoSrcFixtures runs every gortlint pass against its seeded-defect
+// fixture tree. A healthy analyzer fires on every fixture, so — like
+// the ablation smokes — the expected exit status is 1; a fixture that
+// produces fewer findings than its floor is a detection regression and
+// drops the status back to 0 (with a diagnostic on stderr).
+func runGoSrcFixtures() int {
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
+		return 2
+	}
+	healthy := true
+	for _, spec := range gortlint.Fixtures() {
+		dirs := make([]string, 0, len(spec.Dirs))
+		for _, rel := range spec.Dirs {
+			dirs = append(dirs, filepath.Join(root, filepath.FromSlash(rel)))
+		}
+		mod, err := golint.LoadPackages(dirs...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: fixture %s: %v\n", spec.Name, err)
+			return 2
+		}
+		diags, err := spec.Run(mod)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: fixture %s: %v\n", spec.Name, err)
+			return 2
+		}
+		fmt.Printf("fixture %s: %d finding(s), expected >= %d\n", spec.Name, len(diags), spec.Min)
+		if len(diags) < spec.Min {
+			fmt.Fprintf(os.Stderr, "gclint: fixture %s: REGRESSION: seeded defects no longer caught\n", spec.Name)
+			healthy = false
+		}
+	}
+	if healthy {
+		return 1
+	}
+	return 0
+}
+
+// relPos renders a diagnostic position relative to the module root, so
+// reports are stable across checkouts.
+func relPos(root string, pos token.Position) string {
+	if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return fmt.Sprintf("%s:%d:%d", filepath.ToSlash(rel), pos.Line, pos.Column)
+	}
+	return pos.String()
 }
 
 func robustDynamic(p tso.Program) bool {

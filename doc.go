@@ -25,6 +25,12 @@
 //     effect footprints, CFG dataflow, Shasha–Snir robustness, placement
 //     rules, POR safe-class derivation), cross-checked against the
 //     dynamic checker; cmd/gclint is its CLI;
+//   - internal/analysis/golint, internal/analysis/gortlint: the
+//     self-lint layer — a stdlib-only module loader and call graph, and
+//     the runtime conformance passes (field-access discipline,
+//     write-barrier coverage, publication discipline, benchmark-hook
+//     confinement) that check internal/gcrt and internal/server against
+//     their declared concurrency tables (gclint -gosrc);
 //   - internal/gcrt: the executable Schism-style collector kernel with
 //     real goroutine mutators;
 //   - internal/core: the library façade.

@@ -188,127 +188,59 @@ func ModuleRoot(dir string) (string, error) {
 // source) and reports every range-over-map in a function reachable from
 // the functions or methods named in roots. A fixture directory outside
 // any module is rejected only if it imports non-stdlib packages.
+//
+// Reachability runs over the exported Module call graph (module.go),
+// which includes edges for every function reference — direct calls,
+// method values, function values, go/defer targets — not just direct
+// call expressions.
 func CheckDir(dir string, roots []string) ([]Diagnostic, error) {
-	modRoot, modPath, err := moduleOf(dir)
+	mod, err := LoadPackages(dir)
 	if err != nil {
 		return nil, err
 	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return nil, err
-	}
-	rel, err := filepath.Rel(modRoot, abs)
-	if err != nil {
-		return nil, err
-	}
-	path := modPath
-	if rel != "." {
-		path = modPath + "/" + filepath.ToSlash(rel)
-	}
-
-	l := newLoader(modRoot, modPath)
-	if _, err := l.load(path); err != nil {
-		return nil, err
-	}
-	return l.analyze(roots)
-}
-
-// funcBody pairs a function object with its syntax (which may contain
-// nested function literals — those run, at the latest, when the
-// enclosing function's value escapes, so their calls and ranges are
-// attributed to the enclosing declaration).
-type funcBody struct {
-	fn   *types.Func
-	decl *ast.FuncDecl
-	p    *pkg
-}
-
-// analyze builds the call graph over every loaded package and reports
-// reachable map ranges. It is an error for a root to match no declared
-// function: a renamed entry point must fail the lint, not trivially
-// pass it.
-func (l *loader) analyze(roots []string) ([]Diagnostic, error) {
 	rootSet := make(map[string]bool, len(roots))
 	for _, r := range roots {
 		rootSet[r] = true
 	}
-
-	// Collect every function declaration with a body, keyed by object.
-	bodies := make(map[*types.Func]funcBody)
-	// Concrete methods by name, for interface-call widening.
-	byName := make(map[string][]*types.Func)
 	var work []*types.Func
-	for _, p := range l.pkgs {
-		for _, f := range p.files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := p.info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				bodies[obj] = funcBody{fn: obj, decl: fd, p: p}
-				if fd.Recv != nil {
-					byName[obj.Name()] = append(byName[obj.Name()], obj)
-				}
-				if rootSet[obj.Name()] {
-					work = append(work, obj)
-				}
-			}
+	found := make(map[string]bool, len(roots))
+	for _, f := range mod.Functions() {
+		if rootSet[f.Fn.Name()] {
+			work = append(work, f.Fn)
+			found[f.Fn.Name()] = true
 		}
 	}
-
-	found := make(map[string]bool, len(work))
-	for _, fn := range work {
-		found[fn.Name()] = true
-	}
+	// It is an error for a root to match no declared function: a renamed
+	// entry point must fail the lint, not trivially pass it.
 	for _, r := range roots {
 		if !found[r] {
 			return nil, fmt.Errorf("golint: root %q matches no function declaration", r)
 		}
 	}
 
-	// Reachability over static calls.
-	reached := make(map[*types.Func]bool)
-	for len(work) > 0 {
-		fn := work[len(work)-1]
-		work = work[:len(work)-1]
-		if reached[fn] {
-			continue
-		}
-		reached[fn] = true
-		fb, ok := bodies[fn]
-		if !ok {
-			continue // declared in a package we did not load (stdlib)
-		}
-		for _, callee := range l.callees(fb, byName) {
-			if !reached[callee] {
-				work = append(work, callee)
-			}
-		}
-	}
+	reached := mod.Reachable(work)
 
-	// Report map ranges in reached bodies.
+	// Report map ranges in reached bodies. Nested function literals
+	// belong to the enclosing declaration: they run, at the latest, when
+	// the enclosing function's value escapes.
 	var out []Diagnostic
 	for fn := range reached {
-		fb, ok := bodies[fn]
-		if !ok {
+		f := mod.FunctionFor(fn)
+		if f == nil {
 			continue
 		}
-		ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
 				return true
 			}
-			tv, ok := fb.p.info.Types[rs.X]
+			tv, ok := f.Pkg.Info.Types[rs.X]
 			if !ok {
 				return true
 			}
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 				out = append(out, Diagnostic{
-					Pos:     l.fset.Position(rs.Pos()),
+					Pos:     mod.Fset().Position(rs.Pos()),
 					Func:    fn.FullName(),
 					Message: fmt.Sprintf("iteration over map %s in fingerprint call graph: order is randomized", tv.Type),
 				})
@@ -316,54 +248,6 @@ func (l *loader) analyze(roots []string) ([]Diagnostic, error) {
 			return true
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		return a.Offset < b.Offset
-	})
+	sortDiagnostics(out)
 	return out, nil
-}
-
-// callees lists the static callees of one function body: direct calls,
-// method calls, and interface calls widened to every same-name concrete
-// method among the loaded packages.
-func (l *loader) callees(fb funcBody, byName map[string][]*types.Func) []*types.Func {
-	var out []*types.Func
-	ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			if fn, ok := fb.p.info.Uses[fun].(*types.Func); ok {
-				out = append(out, fn)
-			}
-		case *ast.SelectorExpr:
-			sel, ok := fb.p.info.Selections[fun]
-			if !ok {
-				// Package-qualified call: pkg.F.
-				if fn, ok := fb.p.info.Uses[fun.Sel].(*types.Func); ok {
-					out = append(out, fn)
-				}
-				return true
-			}
-			fn, ok := sel.Obj().(*types.Func)
-			if !ok {
-				return true
-			}
-			if types.IsInterface(sel.Recv()) {
-				// Interface dispatch: widen to every concrete method with
-				// this name. Over-approximates, which is the sound
-				// direction for a reachability lint.
-				out = append(out, byName[fn.Name()]...)
-			} else {
-				out = append(out, fn)
-			}
-		}
-		return true
-	})
-	return out
 }

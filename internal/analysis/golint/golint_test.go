@@ -8,15 +8,11 @@ import (
 	"testing"
 )
 
-// TestFixture runs the pass over the testdata package and compares the
-// diagnostics against the `// want` comments in the fixture source.
-func TestFixture(t *testing.T) {
-	dir := filepath.Join("testdata", "fingerprint")
-	diags, err := CheckDir(dir, []string{"AppendFingerprint"})
-	if err != nil {
-		t.Fatal(err)
-	}
-
+// checkWants compares diagnostics against the `// want "frag"` comments
+// in the fixture directory: every want must match a diagnostic on its
+// line, and every diagnostic must be wanted.
+func checkWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
 	type want struct {
 		line int
 		frag string
@@ -49,7 +45,7 @@ func TestFixture(t *testing.T) {
 	for _, w := range wants {
 		found := false
 		for i, d := range diags {
-			if d.Pos.Line == w.line && strings.Contains(d.Message, w.frag) {
+			if !matched[i] && d.Pos.Line == w.line && strings.Contains(d.Message, w.frag) {
 				matched[i] = true
 				found = true
 				break
@@ -64,6 +60,32 @@ func TestFixture(t *testing.T) {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
+}
+
+// TestFixture runs the pass over the testdata package and compares the
+// diagnostics against the `// want` comments in the fixture source.
+func TestFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "fingerprint")
+	diags, err := CheckDir(dir, []string{"AppendFingerprint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, dir, diags)
+}
+
+// TestIndirectFixture is the call-graph regression fixture: map ranges
+// in functions reachable only through method values, function values,
+// and goroutine closures must all be flagged.
+func TestIndirectFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "indirect")
+	diags, err := CheckDir(dir, []string{"AppendFingerprint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) < 4 {
+		t.Errorf("expected at least 4 findings (method value, function value, closure, spawned helper), got %d: %v", len(diags), diags)
+	}
+	checkWants(t, dir, diags)
 }
 
 // TestFixtureParses guards the fixture itself: want comments must sit on

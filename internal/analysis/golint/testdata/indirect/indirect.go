@@ -1,0 +1,60 @@
+// Package indirect is the regression fixture for the call-graph fix:
+// functions reachable only through a method value, a function value
+// passed to an invoker, or a goroutine closure must be in the reachable
+// set, so their map ranges are flagged. The original callee collector
+// looked only at direct call expressions and missed every one of these.
+package indirect
+
+type table struct {
+	m map[string]int
+}
+
+// AppendFingerprint is the fixture's fingerprint entry point. None of
+// the defective functions below are named in a direct call expression.
+func AppendFingerprint(t *table, buf []byte) []byte {
+	f := t.dumpValues // method value: the only reference to dumpValues
+	buf = f(buf)
+	buf = invoke(viaValue, buf) // function value handed to an invoker
+	spawn(t)
+	return buf
+}
+
+// dumpValues is reachable only through the method value above.
+func (t *table) dumpValues(buf []byte) []byte {
+	for k := range t.m { // want "iteration over map"
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+// invoke calls whatever function value it is handed.
+func invoke(f func([]byte) []byte, buf []byte) []byte { return f(buf) }
+
+// viaValue is reachable only as an argument to invoke.
+func viaValue(buf []byte) []byte {
+	sizes := map[int]bool{1: true}
+	for s := range sizes { // want "iteration over map"
+		_ = s
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// spawn runs a goroutine whose closure ranges over a map: the range
+// belongs to spawn's own body (function literals are attributed to the
+// enclosing declaration), and the spawned helper is reachable only
+// through the go statement.
+func spawn(t *table) {
+	go func() {
+		for range t.m { // want "iteration over map"
+		}
+		background(t)
+	}()
+}
+
+// background is reachable only from inside the goroutine closure.
+func background(t *table) {
+	for k, v := range t.m { // want "iteration over map"
+		_, _ = k, v
+	}
+}

@@ -1,0 +1,221 @@
+package gortlint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/golint"
+)
+
+// checkWants compares diagnostics against the `// want "frag"` comments
+// in a fixture directory: every want must be matched by a diagnostic on
+// its line, and every diagnostic must be wanted.
+func checkWants(t *testing.T, dir string, diags []golint.Diagnostic) {
+	t.Helper()
+	type want struct {
+		line int
+		frag string
+	}
+	var wants []want
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, `// want "`)
+				if !ok {
+					continue
+				}
+				wants = append(wants, want{
+					line: fset.Position(c.Pos()).Line,
+					frag: strings.TrimSuffix(rest, `"`),
+				})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("fixture has no want comments")
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.Pos.Line == w.line && strings.Contains(d.Message, w.frag) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic at fixture line %d matching %q; got %v", w.line, w.frag, diags)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// loadFixture loads a spec's fixture dirs (module-root-relative).
+func loadFixture(t *testing.T, spec FixtureSpec) *golint.Module {
+	t.Helper()
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, len(spec.Dirs))
+	for i, d := range spec.Dirs {
+		dirs[i] = filepath.Join(root, d)
+	}
+	mod, err := golint.LoadPackages(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// wantDirFor maps a fixture spec to the directory holding its want
+// comments (for hooks, only prod carries wants).
+func wantDirFor(t *testing.T, spec FixtureSpec) string {
+	t.Helper()
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range spec.Dirs {
+		if spec.Name != "bench-hooks" || strings.HasSuffix(d, "/prod") {
+			return filepath.Join(root, d)
+		}
+	}
+	t.Fatalf("no want dir for %s", spec.Name)
+	return ""
+}
+
+// TestFixtures runs every seeded-defect fixture and checks the findings
+// exactly against the want comments.
+func TestFixtures(t *testing.T) {
+	for _, spec := range Fixtures() {
+		t.Run(spec.Name, func(t *testing.T) {
+			mod := loadFixture(t, spec)
+			diags, err := spec.Run(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) < spec.Min {
+				t.Errorf("expected at least %d findings, got %d: %v", spec.Min, len(diags), diags)
+			}
+			checkWants(t, wantDirFor(t, spec), diags)
+		})
+	}
+}
+
+// loadGCRT loads the real runtime module once for the zero-findings
+// gates.
+var gcrtMod *golint.Module
+
+func loadGCRT(t *testing.T) *golint.Module {
+	t.Helper()
+	if gcrtMod != nil {
+		return gcrtMod
+	}
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(GCRTDirs()))
+	for _, d := range GCRTDirs() {
+		dirs = append(dirs, filepath.Join(root, d))
+	}
+	mod, err := golint.LoadPackages(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcrtMod = mod
+	return mod
+}
+
+// TestGCRTDiscipline is the zero-findings gate over the real runtime:
+// every shared field classified, annotated, and accessed per its class.
+func TestGCRTDiscipline(t *testing.T) {
+	diags, err := CheckDiscipline(loadGCRT(t), GCRTDiscipline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("discipline: %s", d)
+	}
+}
+
+// TestGCRTBarriers gates the barrier placement on the real runtime.
+func TestGCRTBarriers(t *testing.T) {
+	diags, err := CheckBarriers(loadGCRT(t), GCRTBarriers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("barriers: %s", d)
+	}
+}
+
+// TestGCRTPublish gates the publication discipline on the real runtime.
+func TestGCRTPublish(t *testing.T) {
+	diags, err := CheckPublish(loadGCRT(t), GCRTPublish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("publication: %s", d)
+	}
+}
+
+// TestGCRTHooks gates the benchmark-hook restriction on the real tree.
+func TestGCRTHooks(t *testing.T) {
+	diags, err := CheckHooks(loadGCRT(t), GCRTHooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hooks: %s", d)
+	}
+}
+
+// TestServerDiscipline gates the verification service's engine: the
+// same analyzer, a different table — the discipline framework is
+// generic over the declaration.
+func TestServerDiscipline(t *testing.T) {
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(ServerDirs()))
+	for _, d := range ServerDirs() {
+		dirs = append(dirs, filepath.Join(root, d))
+	}
+	mod, err := golint.LoadPackages(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckDiscipline(mod, ServerDiscipline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("server discipline: %s", d)
+	}
+}

@@ -1,0 +1,93 @@
+package gortlint
+
+// This file declares the discipline table for the verification service
+// (internal/server): one big Engine lock, caller-holds conventions for
+// the *Locked helpers and the heap.Interface methods, and job identity
+// fields that freeze at submission. The discipline framework is the
+// same one the runtime uses — the point of reusing it here is that the
+// analyzer is generic over the table, not special-cased to gcrt.
+
+// ServerDirs lists the load roots for the server passes.
+func ServerDirs() []string {
+	return []string{"internal/server"}
+}
+
+// serverPkg is the import path of the service package.
+const serverPkg = "repro/internal/server"
+
+// ServerDiscipline returns the field-access discipline config for the
+// verification-service engine.
+func ServerDiscipline() DisciplineConfig {
+	return DisciplineConfig{
+		Package: serverPkg,
+		Table: Table{
+			Structs: map[string]map[string]FieldRule{
+				"Engine": {
+					"opt":            {Class: Immutable},
+					"log":            {Class: Immutable},
+					"cache":          {Class: Immutable},
+					"start":          {Class: Immutable},
+					"mu":             {Class: Atomic},
+					"cond":           {Class: Immutable},
+					"jobs":           {Class: Guarded, Guard: "mu"},
+					"queue":          {Class: Guarded, Guard: "mu"},
+					"seq":            {Class: Guarded, Guard: "mu"},
+					"pushes":         {Class: Guarded, Guard: "mu"},
+					"closed":         {Class: Guarded, Guard: "mu"},
+					"wg":             {Class: Atomic}, // WaitGroup has its own sync
+					"cacheHits":      {Class: Guarded, Guard: "mu"},
+					"cacheMisses":    {Class: Guarded, Guard: "mu"},
+					"statesExplored": {Class: Guarded, Guard: "mu"},
+					"corpusCells":    {Class: Guarded, Guard: "mu"},
+				},
+				"job": {
+					// Identity fields freeze when Submit (or crash recovery)
+					// publishes the job; workers read them unlocked.
+					"id":        {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					"spec":      {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					"fp":        {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					"summary":   {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					"priority":  {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					"corpus":    {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					"submitted": {Class: Immutable, Init: []string{"Engine.Submit", "Engine.recover"}},
+					// Mutable run state, all under the engine lock.
+					"state":     {Class: Guarded, Guard: "Engine.mu"},
+					"cached":    {Class: Guarded, Guard: "Engine.mu"},
+					"resumed":   {Class: Guarded, Guard: "Engine.mu"},
+					"cancelReq": {Class: Guarded, Guard: "Engine.mu"},
+					"pushSeq":   {Class: Guarded, Guard: "Engine.mu"},
+					"started":   {Class: Guarded, Guard: "Engine.mu"},
+					"finished":  {Class: Guarded, Guard: "Engine.mu"},
+					"progress":  {Class: Guarded, Guard: "Engine.mu"},
+					"lastState": {Class: Guarded, Guard: "Engine.mu"},
+					"errMsg":    {Class: Guarded, Guard: "Engine.mu"},
+					"verdict":   {Class: Guarded, Guard: "Engine.mu"},
+					"cancel":    {Class: Guarded, Guard: "Engine.mu"},
+					"subs":      {Class: Guarded, Guard: "Engine.mu"},
+				},
+				"cache": {
+					"dir":  {Class: Immutable},
+					"log":  {Class: Immutable},
+					"mu":   {Class: Atomic},
+					"recs": {Class: Guarded, Guard: "mu"},
+				},
+			},
+			Init: []string{"New", "Engine.recover", "openCache"},
+			Holds: map[string][]string{
+				// The *Locked suffix is the caller-holds convention.
+				"Engine.persistLocked":     {"Engine.mu"},
+				"Engine.infoLocked":        {"Engine.mu"},
+				"Engine.pushLocked":        {"Engine.mu"},
+				"Engine.notifyLocked":      {"Engine.mu"},
+				"Engine.corpusCellsLocked": {"Engine.mu"},
+				// container/heap invokes the jobQueue methods only from
+				// heap.Push/Pop/Fix calls made under the engine lock.
+				"jobQueue.Len":  {"Engine.mu"},
+				"jobQueue.Less": {"Engine.mu"},
+				"jobQueue.Swap": {"Engine.mu"},
+				"jobQueue.Push": {"Engine.mu"},
+				"jobQueue.Pop":  {"Engine.mu"},
+			},
+		},
+	}
+}

@@ -1,0 +1,332 @@
+// Package gortlint is the concurrency-discipline analyzer for the
+// concrete runtime (internal/gcrt) and the verification service
+// (internal/server): the Go-source mirror of the model-level placement
+// rules in internal/analysis.
+//
+// The model checker proves the protocol over the abstract machine;
+// -race soaks and the online oracle check the runtime dynamically — but
+// a dynamic check misses a discipline violation whenever the scheduler
+// happens not to interleave it. Following the pointer-race-freedom line
+// of work (Haziza et al.; Meyer–Wolff), the runtime's shared state
+// becomes statically checkable once every shared location carries an
+// explicit access discipline. This package declares that discipline as
+// a table (the way effects.go declares KindEffects), requires each
+// field's declaration to carry a matching `// gcrt:guard` annotation,
+// and then checks every reachable access against its class:
+//
+//   - atomic: the field is a sync/atomic mirror (or a mutex); it may
+//     only be touched as a method receiver (.Load/.Store/.Add/.Lock...).
+//     A plain read or write of such a field bypasses the memory-order
+//     contract the kernel's TSO argument depends on.
+//   - by(mu): the field is guarded by a mutex; every access must be
+//     dominated by mu.Lock() on the path (a may-held lockset dataflow,
+//     so a conditionally taken lock counts — only definitely-unlocked
+//     accesses are flagged).
+//   - owner(domain): the field is confined to one goroutine's role
+//     (mutator or collector); it may only be touched by methods of the
+//     declaring struct, by explicitly exempted functions (the parked-
+//     mutator protocol), and never from code reachable from the target
+//     package's own `go` statements or lexically inside a spawned
+//     function literal.
+//   - immutable: the field is written only during construction (the
+//     package's Init functions, or a per-field Init override) and is
+//     read-only afterwards. Element writes through a slice field are
+//     allowed — immutability here is of the reference, matching how the
+//     arena's atomic element slices work.
+//
+// The passes are built on the golint loader/call-graph framework
+// (stdlib go/parser + go/types only, no x/tools) and validated the
+// established way: testdata fixture packages with seeded defects and
+// `// want` comments that must be flagged exactly, plus zero-findings
+// gates over the real trees wired into `gclint -gosrc` and CI.
+//
+// Soundness caveats (vs -race): the lockset conflates lock instances
+// (sh1.mu counts for sh2.free — field identity, not object identity),
+// loops are walked once, Init functions are trusted wholesale, and
+// composite literals are construction, not mutation. The discipline is
+// a lint: it over-approximates held locks and trusts the table, so a
+// clean report is a conformance argument, not a proof. What it does
+// catch — and -race structurally cannot — is a discipline break on a
+// path the scheduler never happened to interleave.
+package gortlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/golint"
+)
+
+// Class is a field's access-discipline class.
+type Class int
+
+const (
+	// Atomic fields may only be accessed as method receivers.
+	Atomic Class = iota
+	// Guarded fields require their mutex in the may-held lockset.
+	Guarded
+	// Owner fields are confined to the declaring struct's goroutine role.
+	Owner
+	// Immutable fields are written only during construction.
+	Immutable
+)
+
+func (c Class) String() string {
+	switch c {
+	case Atomic:
+		return "atomic"
+	case Guarded:
+		return "by(mu)"
+	case Owner:
+		return "owner"
+	case Immutable:
+		return "immutable"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// FieldRule classifies one struct field.
+type FieldRule struct {
+	Class Class
+	// Guard names the protecting mutex for Guarded fields: "mu" for a
+	// mutex field of the same struct, or "Struct.mu" qualified.
+	Guard string
+	// Domain names the owning role for Owner fields ("mutator",
+	// "collector").
+	Domain string
+	// Init optionally overrides the table-level Init list for this field
+	// only: functions allowed to write an Immutable field. Used for
+	// fields immutable after a specific publication point (e.g. job
+	// identity fields written in Engine.Submit).
+	Init []string
+}
+
+// annotation renders the `gcrt:guard` spec this rule requires.
+func (r FieldRule) annotation() string {
+	switch r.Class {
+	case Atomic:
+		return "atomic"
+	case Guarded:
+		return "by(" + r.Guard + ")"
+	case Owner:
+		return "owner(" + r.Domain + ")"
+	case Immutable:
+		return "immutable"
+	}
+	return "?"
+}
+
+// Table is the access-discipline declaration for one package's shared
+// structs.
+type Table struct {
+	// Structs maps struct name -> field name -> rule. Every non-blank
+	// field of a listed struct must be classified (exhaustiveness is
+	// checked), and every classified field's declaration must carry a
+	// matching `// gcrt:guard` annotation.
+	Structs map[string]map[string]FieldRule
+	// Init lists constructor functions (by funcKey, "Recv.Name" or
+	// "Name") exempt from every access check: they build the object
+	// before it is shared.
+	Init []string
+	// Exempt grants a function access to specific owner-confined fields
+	// it does not own: the parked-mutator protocol, where the collector
+	// operates on a mutator's private state under parkMu.
+	Exempt map[string][]string // funcKey -> ["Struct.field", ...]
+	// Holds declares locks held on entry by caller-holds convention
+	// (the *Locked suffix functions, heap.Interface methods invoked
+	// under the container lock).
+	Holds map[string][]string // funcKey -> ["Struct.mu", ...]
+}
+
+// DisciplineConfig targets one package's table.
+type DisciplineConfig struct {
+	// Package is the import path (or unique suffix) of the package
+	// declaring the structs. Init/Exempt/Holds entries resolve against
+	// functions declared in this package.
+	Package string
+	Table   Table
+}
+
+// fieldRef identifies one classified field.
+type fieldRef struct {
+	structName string
+	fieldName  string
+	rule       FieldRule
+}
+
+func (fr fieldRef) String() string { return fr.structName + "." + fr.fieldName }
+
+// resolved is the type-checked view of a table against a loaded package.
+type resolved struct {
+	pkg *golint.Package
+	// fields maps the type-checker's field objects to their rules.
+	fields map[*types.Var]fieldRef
+	// mutexes maps "Struct.field" guard keys to field objects, so the
+	// lockset can be keyed on object identity.
+	mutexes map[string]*types.Var
+	// guardVar resolves a rule's Guard spec for a field of structName.
+	// init/exempt/holds keep funcKey semantics from the table.
+	table Table
+}
+
+// guardKey qualifies a Guard spec against its declaring struct.
+func guardKey(structName, guard string) string {
+	if strings.Contains(guard, ".") {
+		return guard
+	}
+	return structName + "." + guard
+}
+
+// resolveTable type-checks the table against the declaring package:
+// every listed struct and field must exist, and — exhaustiveness — every
+// non-blank field of a listed struct must be classified. Structural
+// drift (a renamed field, a new unclassified field) fails loudly instead
+// of silently unchecking.
+func resolveTable(mod *golint.Module, pkg *golint.Package, table Table) (*resolved, []golint.Diagnostic, error) {
+	r := &resolved{
+		pkg:     pkg,
+		fields:  make(map[*types.Var]fieldRef),
+		mutexes: make(map[string]*types.Var),
+		table:   table,
+	}
+	var diags []golint.Diagnostic
+	scope := pkg.Types.Scope()
+	for structName, rules := range table.Structs {
+		obj := scope.Lookup(structName)
+		if obj == nil {
+			return nil, nil, fmt.Errorf("gortlint: table struct %s not found in %s", structName, pkg.Path)
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			return nil, nil, fmt.Errorf("gortlint: %s.%s is not a struct", pkg.Path, structName)
+		}
+		seen := make(map[string]bool, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" {
+				continue // padding
+			}
+			seen[f.Name()] = true
+			rule, ok := rules[f.Name()]
+			if !ok {
+				diags = append(diags, golint.Diagnostic{
+					Pos:  mod.Fset().Position(f.Pos()),
+					Func: structName,
+					Message: fmt.Sprintf(
+						"field %s.%s has no access-discipline classification: add it to the table and annotate it",
+						structName, f.Name()),
+				})
+				continue
+			}
+			r.fields[f] = fieldRef{structName: structName, fieldName: f.Name(), rule: rule}
+			if isMutexType(f.Type()) {
+				r.mutexes[structName+"."+f.Name()] = f
+			}
+		}
+		for name := range rules {
+			if !seen[name] {
+				return nil, nil, fmt.Errorf("gortlint: table field %s.%s does not exist (struct drifted?)", structName, name)
+			}
+		}
+	}
+	return r, diags, nil
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkAnnotations cross-checks the table against the `// gcrt:guard`
+// annotations on the struct declarations: every classified field must
+// carry an annotation, and the annotation must spell the table's rule.
+// The table is the machine-checked source of truth; the annotation is
+// the human-readable mirror at the declaration site, and this check is
+// what keeps the two from drifting.
+func checkAnnotations(mod *golint.Module, r *resolved) []golint.Diagnostic {
+	var diags []golint.Diagnostic
+	pkg := r.pkg
+	// Index struct fields by ast.Field so multi-name fields share one
+	// annotation.
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if _, listed := r.table.Structs[ts.Name.Name]; !listed {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				spec := annotationOf(fld)
+				for _, name := range fld.Names {
+					if name.Name == "_" {
+						continue
+					}
+					fv, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					fr, classified := r.fields[fv]
+					if !classified {
+						continue // exhaustiveness already reported it
+					}
+					want := fr.rule.annotation()
+					switch {
+					case spec == "":
+						diags = append(diags, golint.Diagnostic{
+							Pos:  mod.Fset().Position(name.Pos()),
+							Func: fr.structName,
+							Message: fmt.Sprintf(
+								"field %s lacks its `gcrt:guard %s` annotation (table classifies it %s)",
+								fr, want, want),
+						})
+					case spec != want:
+						diags = append(diags, golint.Diagnostic{
+							Pos:  mod.Fset().Position(name.Pos()),
+							Func: fr.structName,
+							Message: fmt.Sprintf(
+								"field %s is annotated `gcrt:guard %s` but the table says `%s`: fix whichever is wrong",
+								fr, spec, want),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// annotationOf extracts the `gcrt:guard <spec>` annotation from a field's
+// doc or trailing comment.
+func annotationOf(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			idx := strings.Index(text, "gcrt:guard ")
+			if idx < 0 {
+				continue
+			}
+			return strings.TrimSpace(text[idx+len("gcrt:guard "):])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,65 @@
+// Package barrier is the barrier-coverage fixture: a miniature mutator
+// store with seeded missing-barrier defects.
+package barrier
+
+import "sync/atomic"
+
+type options struct {
+	NoDel bool
+	NoIns bool
+}
+
+type heap struct {
+	fields []atomic.Int32
+	opt    options
+}
+
+// StoreField is the raw store primitive (allowed to write elements).
+func (h *heap) StoreField(i int, v int32) {
+	h.fields[i].Store(v)
+}
+
+// barrierHit is the write barrier.
+func (h *heap) barrierHit(v int32) { _ = v }
+
+// Store is the audited mutator store: deletion barrier, insertion
+// barrier (each droppable only by its ablation flag), then the raw
+// write. Clean.
+func (h *heap) Store(i int, v int32) {
+	if !h.opt.NoDel {
+		h.barrierHit(0)
+	}
+	if !h.opt.NoIns {
+		h.barrierHit(v)
+	}
+	h.StoreField(i, v)
+}
+
+// StoreMissingInsertion forgot the insertion barrier.
+func (h *heap) StoreMissingInsertion(i int, v int32) {
+	if !h.opt.NoDel {
+		h.barrierHit(0)
+	}
+	h.StoreField(i, v) // want "preceded by 1 of 2 required write-barrier calls"
+}
+
+// StoreGuardedWrong runs the second barrier under a guard that is not
+// an ablation-flag negation, so it may be skipped on the storing path.
+func (h *heap) StoreGuardedWrong(i int, v int32, ok bool) {
+	h.barrierHit(0)
+	if ok {
+		h.barrierHit(v)
+	}
+	h.StoreField(i, v) // want "preceded by 1 of 2 required write-barrier calls"
+}
+
+// sneakyStore calls the raw primitive from a non-audited path.
+func sneakyStore(h *heap) {
+	h.StoreField(0, 1) // want "neither barrier-audited nor an allowed"
+}
+
+// rawPoke writes a field element directly, bypassing even the raw
+// store primitive.
+func rawPoke(h *heap) {
+	h.fields[0].Store(9) // want "raw element write"
+}

@@ -1,0 +1,15 @@
+// Package arena declares the fixture's benchmark-only hook.
+package arena
+
+// A is the fixture arena.
+type A struct {
+	flags []bool
+}
+
+// SetFlagForBenchmark forces a raw flag; benchmarks only.
+func (a *A) SetFlagForBenchmark(i int, v bool) {
+	a.flags[i] = v
+}
+
+// Mark is a production-legal operation.
+func (a *A) Mark(i int) { a.flags[i] = true }

@@ -1,0 +1,9 @@
+// Package bench is on the allow list; its hook use is legitimate.
+package bench
+
+import "repro/internal/analysis/gortlint/testdata/hooks/arena"
+
+// Warm pins flags before a measurement run.
+func Warm(a *arena.A) {
+	a.SetFlagForBenchmark(0, true)
+}

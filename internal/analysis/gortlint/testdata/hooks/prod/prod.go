@@ -1,0 +1,10 @@
+// Package prod is a production path that must not touch the hook.
+package prod
+
+import "repro/internal/analysis/gortlint/testdata/hooks/arena"
+
+// Reset abuses the benchmark hook on a production path.
+func Reset(a *arena.A) {
+	a.Mark(0)
+	a.SetFlagForBenchmark(0, false) // want "benchmark-only hook"
+}

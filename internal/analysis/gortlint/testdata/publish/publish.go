@@ -1,0 +1,53 @@
+// Package publish is the publication-discipline fixture: slots popped
+// from a private reservation must flow through install before reaching
+// a publication point.
+package publish
+
+type obj = int32
+
+type pool struct {
+	free []obj
+}
+
+type heap struct {
+	root obj
+}
+
+// install publishes a slot's header (the fixture's Arena.install).
+func (h *heap) install(o obj) { _ = o }
+
+// storeField publishes a reference into the shared heap.
+func (h *heap) storeField(i int, v obj) { _, _ = i, v }
+
+// allocGood pops, installs, then publishes. Clean.
+func allocGood(h *heap, p *pool) obj {
+	o := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	h.install(o)
+	h.root = o
+	return o
+}
+
+// allocLeakField publishes into a shared field before install.
+func allocLeakField(h *heap, p *pool) {
+	o := p.free[0]
+	h.root = o // want "flows into shared field root before install"
+}
+
+// allocLeakCall passes the raw slot to a publication function.
+func allocLeakCall(h *heap, p *pool) {
+	o := p.free[0]
+	h.storeField(0, o) // want "reaches publication point heap.storeField"
+}
+
+// allocLeakReturn hands the raw slot to the caller.
+func allocLeakReturn(p *pool) obj {
+	return p.free[0] // want "returned to the caller before install"
+}
+
+// drainLeak ranges the reservation and publishes each raw slot.
+func drainLeak(h *heap, p *pool) {
+	for _, o := range p.free {
+		h.storeField(0, o) // want "reaches publication point heap.storeField"
+	}
+}

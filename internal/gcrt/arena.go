@@ -52,8 +52,8 @@ const (
 // freeShard is one shard of the free list. Padding keeps two shards'
 // locks off the same cache line under contention.
 type freeShard struct {
-	mu   sync.Mutex
-	free []Obj
+	mu   sync.Mutex // gcrt:guard atomic
+	free []Obj      // gcrt:guard by(mu)
 	_    [32]byte
 }
 
@@ -63,17 +63,22 @@ type freeShard struct {
 // belongs to shard i mod nshards, so concurrent allocators and the
 // sweep contend on different locks.
 type Arena struct {
-	nslots  int
-	nfields int
-	headers []atomic.Uint32
-	fields  []atomic.Int32 // slot i's fields at [i*nfields, (i+1)*nfields)
+	nslots  int             // gcrt:guard immutable
+	nfields int             // gcrt:guard immutable
+	headers []atomic.Uint32 // gcrt:guard immutable
+	// fields holds slot i's references at [i*nfields, (i+1)*nfields).
+	// gcrt:guard immutable
+	fields []atomic.Int32
 
-	shards []freeShard
-	smask  uint32 // len(shards)-1; len is a power of two
+	shards []freeShard // gcrt:guard immutable
+	// smask is len(shards)-1; len is a power of two.
+	// gcrt:guard immutable
+	smask uint32
 
 	// Faults counts accesses to unallocated slots — the observable
 	// consequence of a lost object. Zero in the verified configuration;
 	// non-zero under ablation.
+	// gcrt:guard atomic
 	Faults atomic.Int64
 }
 

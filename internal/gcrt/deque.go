@@ -17,12 +17,16 @@ import "sync/atomic"
 // without epochs: a slot can only be rewritten after top has advanced
 // past it, and a thief whose top observation went stale loses its CAS.
 type wsDeque struct {
-	top    atomic.Int64 // next index to steal (monotonic)
-	_      [56]byte     // keep top and bottom on separate cache lines
-	bottom atomic.Int64 // next index to push (owner-written)
+	// top is the next index to steal (monotonic).
+	// gcrt:guard atomic
+	top atomic.Int64
+	_   [56]byte // keep top and bottom on separate cache lines
+	// bottom is the next index to push (owner-written).
+	// gcrt:guard atomic
+	bottom atomic.Int64
 	_      [56]byte
-	buf    []atomic.Int32
-	mask   int64
+	buf    []atomic.Int32 // gcrt:guard immutable
+	mask   int64          // gcrt:guard immutable
 }
 
 // newWSDeque creates a deque with capacity rounded up to a power of two.

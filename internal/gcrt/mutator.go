@@ -17,47 +17,55 @@ import (
 // point a real compiler would emit at backward branches and call returns,
 // and Park/Unpark for blocking externally.
 type Mutator struct {
-	rt *Runtime
-	id int
+	rt *Runtime // gcrt:guard immutable
+	id int      // gcrt:guard immutable
 
 	// roots is the mutator's root set (stack slots and registers),
 	// addressed by the caller as dense indexes.
+	// gcrt:guard owner(mutator)
 	roots []Obj
 	// wl is the private grey work-list W_m.
+	// gcrt:guard owner(mutator)
 	wl []Obj
 	// pool holds reserved free slots for the explicit AllocPooled API
 	// (pool.go, the paper's §4 extension).
+	// gcrt:guard owner(mutator)
 	pool []Obj
 	// tlab holds the implicit per-mutator allocation cache behind Alloc
 	// (tlab.go).
+	// gcrt:guard owner(mutator)
 	tlab []Obj
 	// bbuf and bcap are the batched write-barrier buffer (barrier.go).
-	bbuf []Obj
-	bcap int
+	bbuf []Obj // gcrt:guard owner(mutator)
+	bcap int   // gcrt:guard immutable
 
 	// Handshake mailbox: the collector bumps hsWanted to the new round
 	// number; the mutator (or the collector, while the mutator is
 	// parked) acknowledges by storing the round into hsAcked. lastAck
 	// is the mutator goroutine's private copy of hsAcked, so the
 	// SafePoint fast path is a single atomic load and a compare.
-	hsWanted atomic.Int64
-	hsAcked  atomic.Int64
-	lastAck  int64
+	hsWanted atomic.Int64 // gcrt:guard atomic
+	hsAcked  atomic.Int64 // gcrt:guard atomic
+	lastAck  int64        // gcrt:guard owner(mutator)
 
-	parked atomic.Bool
-	parkMu sync.Mutex
-	served atomic.Int64
+	parked atomic.Bool  // gcrt:guard atomic
+	parkMu sync.Mutex   // gcrt:guard atomic
+	served atomic.Int64 // gcrt:guard atomic
 
 	// Acknowledgement flag for the stop-the-world baseline.
-	stwAcked atomic.Bool
+	stwAcked atomic.Bool // gcrt:guard atomic
 	// Pause accounting: the longest and cumulative time this mutator has
 	// been held at a safe point.
-	pauseMax   atomic.Int64
-	pauseTotal atomic.Int64
-	pauseCount atomic.Int64
+	pauseMax   atomic.Int64 // gcrt:guard atomic
+	pauseTotal atomic.Int64 // gcrt:guard atomic
+	pauseCount atomic.Int64 // gcrt:guard atomic
 
-	ops        int64 // operations performed (stats)
-	oracleTick int64 // sampling counter for online invariant checks
+	// ops counts operations performed (stats).
+	// gcrt:guard owner(mutator)
+	ops int64
+	// oracleTick is the sampling counter for online invariant checks.
+	// gcrt:guard owner(mutator)
+	oracleTick int64
 }
 
 // ID returns the mutator's ordinal.

@@ -79,15 +79,15 @@ func (f Finding) String() string {
 
 // Oracle accumulates online invariant findings.
 type Oracle struct {
-	rt  *Runtime
-	opt OracleOptions
+	rt  *Runtime      // gcrt:guard immutable
+	opt OracleOptions // gcrt:guard immutable
 
-	total  atomic.Int64
-	checks atomic.Int64
+	total  atomic.Int64 // gcrt:guard atomic
+	checks atomic.Int64 // gcrt:guard atomic
 
-	mu       sync.Mutex
-	findings []Finding
-	byCheck  map[string]int64
+	mu       sync.Mutex       // gcrt:guard atomic
+	findings []Finding        // gcrt:guard by(mu)
+	byCheck  map[string]int64 // gcrt:guard by(mu)
 }
 
 // EnableOracle attaches an online invariant oracle to the runtime.

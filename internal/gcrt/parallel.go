@@ -40,13 +40,30 @@ const traceDequeCap = 1 << 13
 
 // traceState is the shared state of one parallel trace.
 type traceState struct {
-	deques []*wsDeque
+	deques []*wsDeque // gcrt:guard immutable
 
-	ovMu     sync.Mutex
-	overflow []Obj
+	ovMu     sync.Mutex // gcrt:guard atomic
+	overflow []Obj      // gcrt:guard by(ovMu)
 
-	pending   atomic.Int64
-	processed atomic.Int64
+	pending   atomic.Int64 // gcrt:guard atomic
+	processed atomic.Int64 // gcrt:guard atomic
+
+	// failed flips when a worker panics, so the siblings stop instead
+	// of spinning on a conservation counter that will never drain; the
+	// first panic value is kept for traceAll to re-raise.
+	failed   atomic.Bool // gcrt:guard atomic
+	panicVal any         // gcrt:guard by(ovMu)
+}
+
+// noteFailure records a worker panic: first value wins, and the failed
+// flag releases the idle loops.
+func (st *traceState) noteFailure(r any) {
+	st.ovMu.Lock()
+	if st.panicVal == nil {
+		st.panicVal = r
+	}
+	st.ovMu.Unlock()
+	st.failed.Store(true)
 }
 
 // spill pushes v to the shared overflow list.
@@ -99,10 +116,24 @@ func (rt *Runtime) traceAll(workers int) int {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			// Contain worker panics: without this, one worker dying
+			// leaves pending above zero and the siblings spin forever.
+			// The panic is re-raised on the collector thread below.
+			defer func() {
+				if r := recover(); r != nil {
+					st.noteFailure(r)
+				}
+			}()
 			rt.traceWorker(st, self)
 		}(w)
 	}
 	wg.Wait()
+	if st.failed.Load() {
+		st.ovMu.Lock()
+		r := st.panicVal
+		st.ovMu.Unlock()
+		panic(r)
+	}
 	return int(st.processed.Load())
 }
 
@@ -128,7 +159,7 @@ func (rt *Runtime) traceWorker(st *traceState, self int) {
 			v, ok = st.fromOverflow()
 		}
 		if !ok {
-			if st.pending.Load() == 0 {
+			if st.pending.Load() == 0 || st.failed.Load() {
 				return
 			}
 			runtime.Gosched()

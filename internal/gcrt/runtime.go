@@ -90,24 +90,24 @@ type Options struct {
 // Runtime is the collector kernel: shared control state, the arena, the
 // handshake mailboxes, and the collector's work queue.
 type Runtime struct {
-	opt   Options
-	arena *Arena
+	opt   Options // gcrt:guard immutable
+	arena *Arena  // gcrt:guard immutable
 
 	// Control variables; shared with mutators and read racily by design
 	// (§2.4): the write barriers tolerate stale values.
-	fM    atomic.Bool
-	fA    atomic.Bool
-	phase atomic.Int32
+	fM    atomic.Bool  // gcrt:guard atomic
+	fA    atomic.Bool  // gcrt:guard atomic
+	phase atomic.Int32 // gcrt:guard atomic
 
 	// Handshake state. hsRound is touched only by the collector
 	// goroutine; mutators see rounds through their own mailboxes.
-	hsType  atomic.Int32
-	hsRound int64
-	muts    []*Mutator
+	hsType  atomic.Int32 // gcrt:guard atomic
+	hsRound int64        // gcrt:guard owner(collector)
+	muts    []*Mutator   // gcrt:guard immutable
 
 	// stw is the world-stop protocol state used by the stop-the-world
 	// baseline (stw.go).
-	stw atomic.Int32
+	stw atomic.Int32 // gcrt:guard atomic
 
 	// The collector's work queue; mutators transfer their private
 	// work-lists here when completing get-roots/get-work handshakes.
@@ -115,18 +115,20 @@ type Runtime struct {
 	// is contention-equivalent at handshake granularity and keeps the
 	// kernel readable. (Tracing itself runs over work-stealing deques,
 	// parallel.go; this queue only changes hands at handshakes.)
-	wqMu sync.Mutex
-	wq   []Obj
+	wqMu sync.Mutex // gcrt:guard atomic
+	wq   []Obj      // gcrt:guard by(wqMu)
 
 	// oracle, when non-nil, runs sampled online invariant checks
 	// against the live arena (oracle.go).
+	// gcrt:guard immutable
 	oracle *Oracle
 
 	// sweepScratch carries freed slots between sweep and batched
 	// release; collector goroutine only.
+	// gcrt:guard owner(collector)
 	sweepScratch []Obj
 
-	stats Stats
+	stats Stats // gcrt:guard immutable
 }
 
 // New creates a runtime and its mutator handles.

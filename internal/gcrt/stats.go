@@ -14,7 +14,7 @@ const latBuckets = 40
 
 // latHist is a lock-free log2 latency histogram.
 type latHist struct {
-	buckets [latBuckets]atomic.Int64
+	buckets [latBuckets]atomic.Int64 // gcrt:guard immutable
 }
 
 func (h *latHist) record(d time.Duration) {
@@ -55,23 +55,25 @@ func (h *latHist) percentile(p float64) time.Duration {
 
 // Stats holds the runtime's internal counters.
 type Stats struct {
-	cycles         atomic.Int64
-	freed          atomic.Int64
-	marked         atomic.Int64
-	scanned        atomic.Int64
-	markFast       atomic.Int64 // mark() took the no-CAS fast path
-	markCAS        atomic.Int64 // mark() attempted the CAS
-	handshakes     atomic.Int64
-	handshakeNanos atomic.Int64
-	cycleNanos     atomic.Int64
-	rootsRounds    atomic.Int64
+	cycles         atomic.Int64 // gcrt:guard atomic
+	freed          atomic.Int64 // gcrt:guard atomic
+	marked         atomic.Int64 // gcrt:guard atomic
+	scanned        atomic.Int64 // gcrt:guard atomic
+	markFast       atomic.Int64 // mark() took the no-CAS fast path; gcrt:guard atomic
+	markCAS        atomic.Int64 // mark() attempted the CAS; gcrt:guard atomic
+	handshakes     atomic.Int64 // gcrt:guard atomic
+	handshakeNanos atomic.Int64 // gcrt:guard atomic
+	cycleNanos     atomic.Int64 // gcrt:guard atomic
+	rootsRounds    atomic.Int64 // gcrt:guard atomic
 
-	tlabRefills     atomic.Int64 // TLAB batch reservations (tlab.go)
-	steals          atomic.Int64 // successful deque steals (parallel.go)
-	barrierBuffered atomic.Int64 // barrier targets that entered a buffer
-	barrierFlushes  atomic.Int64 // barrier-buffer drains (barrier.go)
+	tlabRefills     atomic.Int64 // TLAB batch reservations (tlab.go); gcrt:guard atomic
+	steals          atomic.Int64 // successful deque steals (parallel.go); gcrt:guard atomic
+	barrierBuffered atomic.Int64 // barrier targets that entered a buffer; gcrt:guard atomic
+	barrierFlushes  atomic.Int64 // barrier-buffer drains (barrier.go); gcrt:guard atomic
 
-	hsHist latHist // per-round handshake latency histogram
+	// hsHist is the per-round handshake latency histogram.
+	// gcrt:guard immutable
+	hsHist latHist
 }
 
 func (s *Stats) recordHandshake(d time.Duration) {

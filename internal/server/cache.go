@@ -33,11 +33,11 @@ type cacheEntry struct {
 // cache is the CRC-checked on-disk verdict index, keyed by the options
 // fingerprint, with an in-memory mirror for lookups.
 type cache struct {
-	dir string
-	log *log.Logger
+	dir string      // gcrt:guard immutable
+	log *log.Logger // gcrt:guard immutable
 
-	mu   sync.Mutex
-	recs map[uint64]*verdict.Record
+	mu   sync.Mutex                 // gcrt:guard atomic
+	recs map[uint64]*verdict.Record // gcrt:guard by(mu)
 }
 
 // openCache creates the cache directory if needed and loads every

@@ -82,48 +82,48 @@ type Options struct {
 // on-disk job store and the verdict cache. It is safe for concurrent
 // use; Handler exposes it over HTTP.
 type Engine struct {
-	opt   Options
-	log   *log.Logger
-	cache *cache
-	start time.Time
+	opt   Options     // gcrt:guard immutable
+	log   *log.Logger // gcrt:guard immutable
+	cache *cache      // gcrt:guard immutable
+	start time.Time   // gcrt:guard immutable
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	jobs   map[string]*job
-	queue  jobQueue
-	seq    int
-	pushes int // queue-insertion tiebreaker
-	closed bool
-	wg     sync.WaitGroup
+	mu     sync.Mutex      // gcrt:guard atomic
+	cond   *sync.Cond      // gcrt:guard immutable
+	jobs   map[string]*job // gcrt:guard by(mu)
+	queue  jobQueue        // gcrt:guard by(mu)
+	seq    int             // gcrt:guard by(mu)
+	pushes int             // queue-insertion tiebreaker; gcrt:guard by(mu)
+	closed bool            // gcrt:guard by(mu)
+	wg     sync.WaitGroup  // gcrt:guard atomic
 
-	cacheHits, cacheMisses int64
-	statesExplored         int64
-	corpusCells            []CorpusCell // memoized matrix
+	cacheHits, cacheMisses int64        // gcrt:guard by(mu)
+	statesExplored         int64        // gcrt:guard by(mu)
+	corpusCells            []CorpusCell // memoized matrix; gcrt:guard by(mu)
 }
 
 // job is the engine-internal job state; all fields are guarded by
 // Engine.mu.
 type job struct {
-	id        string
-	spec      core.JobSpec
-	fp        uint64
-	summary   string
-	state     core.JobState
-	priority  int
-	corpus    bool
-	cached    bool
-	resumed   bool
-	cancelReq bool
-	pushSeq   int
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	progress  *ProgressInfo
-	lastState int
-	errMsg    string
-	verdict   *verdict.Record
-	cancel    context.CancelFunc
-	subs      map[chan JobInfo]struct{}
+	id        string                    // gcrt:guard immutable
+	spec      core.JobSpec              // gcrt:guard immutable
+	fp        uint64                    // gcrt:guard immutable
+	summary   string                    // gcrt:guard immutable
+	state     core.JobState             // gcrt:guard by(Engine.mu)
+	priority  int                       // gcrt:guard immutable
+	corpus    bool                      // gcrt:guard immutable
+	cached    bool                      // gcrt:guard by(Engine.mu)
+	resumed   bool                      // gcrt:guard by(Engine.mu)
+	cancelReq bool                      // gcrt:guard by(Engine.mu)
+	pushSeq   int                       // gcrt:guard by(Engine.mu)
+	submitted time.Time                 // gcrt:guard immutable
+	started   time.Time                 // gcrt:guard by(Engine.mu)
+	finished  time.Time                 // gcrt:guard by(Engine.mu)
+	progress  *ProgressInfo             // gcrt:guard by(Engine.mu)
+	lastState int                       // gcrt:guard by(Engine.mu)
+	errMsg    string                    // gcrt:guard by(Engine.mu)
+	verdict   *verdict.Record           // gcrt:guard by(Engine.mu)
+	cancel    context.CancelFunc        // gcrt:guard by(Engine.mu)
+	subs      map[chan JobInfo]struct{} // gcrt:guard by(Engine.mu)
 }
 
 // New opens (or creates) the data directory, loads the verdict cache,
@@ -379,6 +379,11 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.log.Printf("shutdown: waiter panic: %v", r)
+			}
+		}()
 		e.wg.Wait()
 		close(done)
 	}()
@@ -479,6 +484,27 @@ func numericSuffix(id string) int {
 // worker runs jobs until the engine closes.
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	// A panic on the job path must not shrink the worker pool for the
+	// daemon's remaining lifetime: log it and spawn a replacement
+	// (runJob settles the job record itself; this guard is the backstop
+	// for panics outside it). The wg.Add happens before this goroutine's
+	// deferred Done, so Shutdown's Wait cannot release early.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		e.log.Printf("worker: recovered panic: %v", r)
+		e.mu.Lock()
+		respawn := !e.closed
+		if respawn {
+			e.wg.Add(1)
+		}
+		e.mu.Unlock()
+		if respawn {
+			go e.worker()
+		}
+	}()
 	for {
 		e.mu.Lock()
 		for !e.closed && e.queue.Len() == 0 {
@@ -512,6 +538,25 @@ func (e *Engine) worker() {
 // runJob executes one job and settles its terminal (or interrupted)
 // state.
 func (e *Engine) runJob(ctx context.Context, j *job) {
+	// Settle the job even if a panic escapes the checker's own
+	// containment (explore.StopPanic): a job left in the running state
+	// would hold its subscribers open forever and never persist.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		j.state = core.JobFailed
+		j.errMsg = fmt.Sprintf("panic: %v", r)
+		j.finished = time.Now()
+		if err := e.persistLocked(j); err != nil {
+			e.log.Printf("job %s: persist: %v", j.id, err)
+		}
+		e.notifyLocked(j)
+		e.log.Printf("job %s: failed on recovered panic: %v", j.id, r)
+	}()
 	e.log.Printf("job %s: running (%s %s)", j.id, j.spec.Preset, j.spec.Ablations)
 	res, resumed, err := core.RunJob(j.spec, core.JobRun{
 		CheckpointPath: e.jobFile(j.id, "run.ckpt"),

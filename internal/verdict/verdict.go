@@ -238,6 +238,36 @@ type LitmusLint struct {
 	Dynamic *bool `json:"dynamic_robust,omitempty"`
 }
 
+// GoSrcSchema tags the Go-source lint report (gclint -gosrc -json).
+const GoSrcSchema = "gclint.gosrc/v1"
+
+// GoSrcLint is the machine-readable report of gclint -gosrc: the
+// checker's and runtime's own Go source swept by every conformance
+// pass (fingerprint map order, goroutine recover guards, and the
+// gortlint discipline/barrier/publication/hook passes).
+type GoSrcLint struct {
+	Schema string `json:"schema"`
+	// Clean is true iff every pass produced zero findings.
+	Clean  bool        `json:"clean"`
+	Passes []GoSrcPass `json:"passes"`
+}
+
+// GoSrcPass is one analysis pass over one load root.
+type GoSrcPass struct {
+	Pass     string         `json:"pass"`
+	Dir      string         `json:"dir"`
+	Clean    bool           `json:"clean"`
+	Findings []GoSrcFinding `json:"findings,omitempty"`
+}
+
+// GoSrcFinding is one source-level finding. Pos is module-root
+// relative (file:line:col) so reports are stable across checkouts.
+type GoSrcFinding struct {
+	Pos     string `json:"pos"`
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+}
+
 // FromModelReport converts a static model lint into the wire shape.
 // The informational relaxed pairs and fence coverage are included only
 // when relaxed is set (mirroring gclint -relaxed).
