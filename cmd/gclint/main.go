@@ -362,6 +362,20 @@ func runGoSrc(jsonOut bool) int {
 		report("server-discipline", "internal/server", d, e)
 	}
 
+	storageDirs := make([]string, 0, len(gortlint.StorageDirs()))
+	for _, rel := range gortlint.StorageDirs() {
+		storageDirs = append(storageDirs, filepath.Join(root, filepath.FromSlash(rel)))
+	}
+	if mod, merr := golint.LoadPackages(storageDirs...); merr != nil {
+		fmt.Fprintln(os.Stderr, "gclint: load internal/storage:", merr)
+		status = 2
+	} else {
+		d, e := gortlint.CheckDiscipline(mod, gortlint.StorageDiscipline())
+		report("storage-discipline", "internal/storage", d, e)
+		d, e = gortlint.CheckDiscipline(mod, gortlint.ExploreSpillDiscipline())
+		report("explore-spill-discipline", "internal/explore", d, e)
+	}
+
 	if jsonOut {
 		emit(rep)
 	}

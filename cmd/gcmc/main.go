@@ -62,6 +62,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/heap"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/verdict"
 )
 
@@ -98,6 +99,10 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 16, "BFS layers between periodic checkpoints")
 		resume    = flag.String("resume", "", "resume the search from this checkpoint file (options must match; -workers may differ)")
 		memBudget = flag.Int("mem-budget", 0, "soft heap budget in MiB: degrade (checkpoint, drop audit, stop cleanly) as usage approaches it (0 = none)")
+		spillDir  = flag.String("spill-dir", "", "disk-spill directory: when the -mem-budget ladder would stop the run, spill cold visited shards and frontier layers here and complete exhaustively instead (remote runs: the daemon picks a per-job directory)")
+
+		chaosFS    = flag.String("chaos-storage", "", "fault-injection spec for all disk I/O, e.g. 'eio@3', 'crash@run.ckpt+2', 'seed=7,rate=0.01,kinds=eio|enospc' (testing)")
+		chaosTrace = flag.String("chaos-trace", "", "write the storage op/fault trace to this file after the run (with -chaos-storage)")
 
 		workers  = flag.Int("workers", 0, "checker worker goroutines per BFS layer (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "visited-set lock stripes (0 = checker default)")
@@ -148,6 +153,7 @@ func main() {
 			Workers:         *workers,
 			Shards:          *shards,
 			MemBudgetMiB:    *memBudget,
+			Spill:           *spillDir != "",
 		}
 		if *liveProps != "" {
 			jo.LivenessProps = strings.Split(*liveProps, ",")
@@ -209,6 +215,16 @@ func main() {
 		signal.Stop(sigc)
 	}()
 
+	var ffs *storage.FaultFS
+	if *chaosFS != "" {
+		var ferr error
+		ffs, ferr = storage.FromSpec(nil, *chaosFS)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "gcmc:", ferr)
+			os.Exit(2)
+		}
+	}
+
 	opt := core.VerifyOptions{
 		MaxStates:       *maxStates,
 		MaxDepth:        *maxDepth,
@@ -226,6 +242,10 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
 		MemBudget:       int64(*memBudget) << 20,
+		SpillDir:        *spillDir,
+	}
+	if ffs != nil {
+		opt.FS = ffs
 	}
 	if *liveProps != "" {
 		opt.LivenessProps = strings.Split(*liveProps, ",")
@@ -239,6 +259,11 @@ func main() {
 	}
 
 	res, err := core.Verify(cfg, opt)
+	if ffs != nil && *chaosTrace != "" {
+		if terr := os.WriteFile(*chaosTrace, []byte(storage.FormatTrace(ffs.Trace())), 0o644); terr != nil {
+			fmt.Fprintln(os.Stderr, "gcmc: chaos trace:", terr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcmc:", err)
 		os.Exit(2)
@@ -251,6 +276,12 @@ func main() {
 		if pe, ok := res.Err.(*explore.PanicError); ok {
 			fmt.Fprintf(os.Stderr, "%s\n", pe.Stack)
 		}
+		os.Exit(2)
+	}
+	if res.Stopped == explore.StopSpill {
+		// The disk rung failed: the run is incomplete through no fault of
+		// the model. That is an environment error, not a verdict.
+		fmt.Fprintf(os.Stderr, "gcmc: spill failed: %v\n", res.Err)
 		os.Exit(2)
 	}
 	if res.Err != nil {
@@ -289,6 +320,10 @@ func main() {
 	if res.States > 0 {
 		fmt.Printf("visited-set: %d bytes (%.1f B/state)\n",
 			res.VisitedBytes, float64(res.VisitedBytes)/float64(res.States))
+	}
+	if res.Spilled.Active {
+		fmt.Printf("spill: %d layer(s) parked, %d flush(es), %d record(s), %d bytes via %s\n",
+			res.Spilled.Layers, res.Spilled.Flushes, res.Spilled.States, res.Spilled.Bytes, *spillDir)
 	}
 	if res.Degraded {
 		fmt.Fprintln(os.Stderr, "gcmc: note: memory watchdog dropped audit fingerprints mid-run; collision count is partial")

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func run() int {
 		workers    = flag.Int("workers", 1, "concurrent verification jobs")
 		ckptEvery  = flag.Int("checkpoint-every", 4, "default checkpoint cadence in BFS layers")
 		memBudget  = flag.Int("mem-budget", 0, "default per-job soft heap budget in MiB (0 = none)")
+		retryMax   = flag.Int("retry-attempts", 0, "max attempts per job under transient storage failures (0 = default 3)")
+		chaosFS    = flag.String("chaos-storage", "", "fault-injection spec for all daemon disk I/O, e.g. 'crash@run.ckpt+2' (testing; an injected crash exits 137)")
 		corpus     = flag.Bool("corpus", false, "enqueue the preset x ablation x {TSO,SC} corpus as background jobs at startup")
 		corpusMax  = flag.Int("corpus-max-states", 50000, "per-cell state cap for corpus jobs")
 		corpusOnly = flag.String("corpus-presets", "", "comma-separated preset filter for the corpus (empty = all)")
@@ -70,7 +73,23 @@ func run() int {
 		CheckpointEvery: *ckptEvery,
 		MemBudgetMiB:    *memBudget,
 		CorpusMaxStates: *corpusMax,
+		Retry:           server.RetryPolicy{MaxAttempts: *retryMax},
 		Log:             elg,
+	}
+	if *chaosFS != "" {
+		ffs, err := storage.FromSpec(nil, *chaosFS)
+		if err != nil {
+			lg.Printf("%v", err)
+			return 2
+		}
+		// An injected crash freezes the FS and kills the process the way
+		// the kernel would: abruptly, mid-write, exit 137 (SIGKILL's
+		// code) — the crash-recovery tests then restart on the remains.
+		ffs.OnCrash(func() {
+			lg.Printf("chaos: injected crash-point hit — exiting 137")
+			os.Exit(137)
+		})
+		opt.FS = ffs
 	}
 	if *corpusOnly != "" {
 		for _, p := range strings.Split(*corpusOnly, ",") {

@@ -219,3 +219,36 @@ func TestServerDiscipline(t *testing.T) {
 		t.Errorf("server discipline: %s", d)
 	}
 }
+
+// TestStorageDiscipline gates the hostile-disk layer: the fault-
+// injecting filesystem and the checker's spill state conform to their
+// declared access disciplines with zero findings.
+func TestStorageDiscipline(t *testing.T) {
+	root, err := golint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(StorageDirs()))
+	for _, d := range StorageDirs() {
+		dirs = append(dirs, filepath.Join(root, d))
+	}
+	mod, err := golint.LoadPackages(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		cfg  DisciplineConfig
+	}{
+		{"storage", StorageDiscipline()},
+		{"explore-spill", ExploreSpillDiscipline()},
+	} {
+		diags, err := CheckDiscipline(mod, cfg.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s discipline: %s", cfg.name, d)
+		}
+	}
+}

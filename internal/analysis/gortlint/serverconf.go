@@ -27,6 +27,8 @@ func ServerDiscipline() DisciplineConfig {
 					"log":            {Class: Immutable},
 					"cache":          {Class: Immutable},
 					"start":          {Class: Immutable},
+					"fs":             {Class: Immutable},
+					"retry":          {Class: Immutable},
 					"mu":             {Class: Atomic},
 					"cond":           {Class: Immutable},
 					"jobs":           {Class: Guarded, Guard: "mu"},
@@ -39,6 +41,11 @@ func ServerDiscipline() DisciplineConfig {
 					"cacheMisses":    {Class: Guarded, Guard: "mu"},
 					"statesExplored": {Class: Guarded, Guard: "mu"},
 					"corpusCells":    {Class: Guarded, Guard: "mu"},
+					"tmpSwept":       {Class: Guarded, Guard: "mu"},
+					"storageErrors":  {Class: Guarded, Guard: "mu"},
+					"jobRetries":     {Class: Guarded, Guard: "mu"},
+					"lastStorageErr": {Class: Guarded, Guard: "mu"},
+					"lastStorageMsg": {Class: Guarded, Guard: "mu"},
 				},
 				"job": {
 					// Identity fields freeze when Submit (or crash recovery)
@@ -63,9 +70,11 @@ func ServerDiscipline() DisciplineConfig {
 					"errMsg":    {Class: Guarded, Guard: "Engine.mu"},
 					"verdict":   {Class: Guarded, Guard: "Engine.mu"},
 					"cancel":    {Class: Guarded, Guard: "Engine.mu"},
+					"attempts":  {Class: Guarded, Guard: "Engine.mu"},
 					"subs":      {Class: Guarded, Guard: "Engine.mu"},
 				},
 				"cache": {
+					"fs":   {Class: Immutable},
 					"dir":  {Class: Immutable},
 					"log":  {Class: Immutable},
 					"mu":   {Class: Atomic},
@@ -75,11 +84,13 @@ func ServerDiscipline() DisciplineConfig {
 			Init: []string{"New", "Engine.recover", "openCache"},
 			Holds: map[string][]string{
 				// The *Locked suffix is the caller-holds convention.
-				"Engine.persistLocked":     {"Engine.mu"},
-				"Engine.infoLocked":        {"Engine.mu"},
-				"Engine.pushLocked":        {"Engine.mu"},
-				"Engine.notifyLocked":      {"Engine.mu"},
-				"Engine.corpusCellsLocked": {"Engine.mu"},
+				"Engine.persistLocked":          {"Engine.mu"},
+				"Engine.infoLocked":             {"Engine.mu"},
+				"Engine.pushLocked":             {"Engine.mu"},
+				"Engine.notifyLocked":           {"Engine.mu"},
+				"Engine.corpusCellsLocked":      {"Engine.mu"},
+				"Engine.requeueLocked":          {"Engine.mu"},
+				"Engine.noteStorageErrorLocked": {"Engine.mu"},
 				// container/heap invokes the jobQueue methods only from
 				// heap.Push/Pop/Fix calls made under the engine lock.
 				"jobQueue.Len":  {"Engine.mu"},

@@ -1,0 +1,102 @@
+package gortlint
+
+// This file declares the discipline tables for the hostile-disk layer:
+// the fault-injecting filesystem (internal/storage) and the checker's
+// disk-spill state (internal/explore). Both are crossed by concurrent
+// writers — FaultFS by every goroutine doing I/O through it, the spill
+// state by the checker's worker pool — so their shared fields carry
+// the same table-plus-annotation discipline as the runtime and the
+// service engine.
+
+// StorageDirs lists the load roots for the storage-layer passes.
+func StorageDirs() []string {
+	return []string{"internal/storage", "internal/explore"}
+}
+
+// StorageDiscipline returns the field-access discipline for the
+// fault-injecting filesystem: one FaultFS lock over the op counter,
+// trace, schedules and crash latch; per-file wrappers frozen at
+// construction.
+func StorageDiscipline() DisciplineConfig {
+	return DisciplineConfig{
+		Package: "repro/internal/storage",
+		Table: Table{
+			Structs: map[string]map[string]FieldRule{
+				"FaultFS": {
+					"inner":   {Class: Immutable},
+					"mu":      {Class: Atomic},
+					"crashFn": {Class: Guarded, Guard: "mu"},
+					"n":       {Class: Guarded, Guard: "mu"},
+					"trace":   {Class: Guarded, Guard: "mu"},
+					"byIndex": {Class: Guarded, Guard: "mu"},
+					"byPath":  {Class: Guarded, Guard: "mu"},
+					"rng":     {Class: Guarded, Guard: "mu"},
+					"rate":    {Class: Guarded, Guard: "mu"},
+					"kinds":   {Class: Guarded, Guard: "mu"},
+					"crashed": {Class: Guarded, Guard: "mu"},
+				},
+				"pathFault": {
+					// Schedule entries live inside FaultFS.byPath and are
+					// only walked (and spent) under the FaultFS lock.
+					"substr": {Class: Guarded, Guard: "FaultFS.mu"},
+					"kind":   {Class: Guarded, Guard: "FaultFS.mu"},
+					"skip":   {Class: Guarded, Guard: "FaultFS.mu"},
+					"spent":  {Class: Guarded, Guard: "FaultFS.mu"},
+				},
+				"faultFile": {
+					"fs":   {Class: Immutable},
+					"f":    {Class: Immutable},
+					"path": {Class: Immutable},
+				},
+			},
+			Init: []string{"NewFaultFS", "FaultFS.Open", "FaultFS.Create"},
+		},
+	}
+}
+
+// ExploreSpillDiscipline returns the field-access discipline for the
+// checker's disk-spill state: spill activation, the hot-record file
+// and the parked frontier layer mutate under one spillState lock
+// (workers fetch parked states read-only through the immutable
+// parkedLayer handle the boundary published).
+func ExploreSpillDiscipline() DisciplineConfig {
+	return DisciplineConfig{
+		Package: "repro/internal/explore",
+		Table: Table{
+			Structs: map[string]map[string]FieldRule{
+				"spillState": {
+					"fs":      {Class: Immutable},
+					"dir":     {Class: Immutable},
+					"keep":    {Class: Immutable},
+					"mu":      {Class: Atomic},
+					"active":  {Class: Guarded, Guard: "mu"},
+					"err":     {Class: Guarded, Guard: "mu"},
+					"vf":      {Class: Guarded, Guard: "mu"},
+					"vfPath":  {Class: Guarded, Guard: "mu"},
+					"parked":  {Class: Guarded, Guard: "mu"},
+					"seq":     {Class: Guarded, Guard: "mu"},
+					"layers":  {Class: Guarded, Guard: "mu"},
+					"flushes": {Class: Guarded, Guard: "mu"},
+					"states":  {Class: Guarded, Guard: "mu"},
+					"bytes":   {Class: Guarded, Guard: "mu"},
+				},
+				"parkedLayer": {
+					// Frozen when parkLayerLocked publishes the layer at a
+					// barrier; workers then read it concurrently.
+					"f":    {Class: Immutable},
+					"path": {Class: Immutable},
+					"offs": {Class: Immutable},
+					"lens": {Class: Immutable},
+				},
+			},
+			Init: []string{"newSpillState"},
+			Holds: map[string][]string{
+				// The *Locked suffix is the caller-holds convention:
+				// boundary (and activate) take the lock, then delegate.
+				"spillState.flushHotLocked":    {"spillState.mu"},
+				"spillState.parkLayerLocked":   {"spillState.mu"},
+				"spillState.closeParkedLocked": {"spillState.mu"},
+			},
+		},
+	}
+}

@@ -37,7 +37,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
+
+	"repro/internal/storage"
 )
 
 // Version is the current format version, checked on load.
@@ -108,6 +109,30 @@ func appendSection(dst []byte, name string, payload []byte) []byte {
 	dst = append(dst, payload...)
 	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 	return dst
+}
+
+// AppendSection frames one named, CRC-32-checksummed section onto dst
+// using the checkpoint file encoding. The explorer's disk-spill files
+// reuse this framing so spilled visited-set records and frontier
+// entries get the same corruption detection as checkpoints.
+func AppendSection(dst []byte, name string, payload []byte) []byte {
+	return appendSection(dst, name, payload)
+}
+
+// SectionOverhead returns the framing bytes AppendSection adds around
+// a payload for the given section name: readers that random-access a
+// frame need its full on-disk length, not just the payload's.
+func SectionOverhead(name string) int {
+	return 1 + len(name) + 8 + 4
+}
+
+// ReadSection parses the section frame starting at off in data,
+// verifying its checksum, and returns the section name, its payload,
+// and the offset of the next frame.
+func ReadSection(data []byte, off int) (name string, payload []byte, next int, err error) {
+	r := &reader{data: data, off: off}
+	name, payload, _, err = r.section()
+	return name, payload, r.off, err
 }
 
 // Marshal encodes the snapshot into the checkpoint file format.
@@ -187,28 +212,34 @@ func hash64(b []byte) uint64 {
 // Save atomically writes the snapshot to path (via path+".tmp" and
 // rename) and returns the number of bytes written.
 func Save(path string, s *Snapshot) (int64, error) {
+	return SaveFS(storage.OSFS{}, path, s)
+}
+
+// SaveFS is Save with the I/O routed through an explicit filesystem,
+// the seam the fault-injection matrix drives.
+func SaveFS(fsys storage.FS, path string, s *Snapshot) (int64, error) {
 	data := s.Marshal()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	tmp := path + storage.TmpSuffix
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	return int64(len(data)), nil
@@ -422,7 +453,12 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 
 // Load reads and verifies the checkpoint at path.
 func Load(path string) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
+	return LoadFS(storage.OSFS{}, path)
+}
+
+// LoadFS is Load through an explicit filesystem.
+func LoadFS(fsys storage.FS, path string) (*Snapshot, error) {
+	data, err := storage.ReadFile(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}

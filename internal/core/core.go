@@ -30,6 +30,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/liveness"
 	"repro/internal/sched"
+	"repro/internal/storage"
 )
 
 // ModelConfig re-exports the model configuration.
@@ -116,6 +117,17 @@ type VerifyOptions struct {
 	// clean incomplete stop) instead of dying to the OOM killer. See
 	// explore.Options.MemBudget.
 	MemBudget int64
+	// SpillDir, if non-empty, arms the disk-spill degradation rung: when
+	// the memory ladder would otherwise drop audit data or stop the run,
+	// cold visited-set shards and frontier layers spill to CRC-framed
+	// files under this directory and the run completes exhaustively
+	// instead. Representation-only — excluded from the options
+	// fingerprint. See explore.Options.SpillDir.
+	SpillDir string
+	// FS, when non-nil, routes all of the run's disk I/O (checkpoints
+	// and spill files) through this filesystem; nil means the real one.
+	// A fault-injecting FS (storage.FaultFS) plugs in here.
+	FS storage.FS
 }
 
 // VerifyResult reports a verification run.
@@ -206,6 +218,8 @@ func exploreOptions(opt VerifyOptions) explore.Options {
 			EveryLayers: opt.CheckpointEvery,
 		},
 		MemBudget: opt.MemBudget,
+		SpillDir:  opt.SpillDir,
+		FS:        opt.FS,
 	}
 }
 
@@ -243,7 +257,7 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 	checks := battery(opt)
 	eopt := exploreOptions(opt)
 	if opt.Resume != "" {
-		snap, err := checkpoint.Load(opt.Resume)
+		snap, err := checkpoint.LoadFS(storage.OrOS(opt.FS), opt.Resume)
 		if err != nil {
 			return VerifyResult{}, fmt.Errorf("core: %w", err)
 		}
@@ -267,7 +281,7 @@ func Verify(cfg ModelConfig, opt VerifyOptions) (VerifyResult, error) {
 	// terms: an interruption, memory stop, or worker panic means the user
 	// (or the machine) wants the run over, not a second exploration.
 	switch res.Stopped {
-	case explore.StopInterrupted, explore.StopMemBudget, explore.StopPanic:
+	case explore.StopInterrupted, explore.StopMemBudget, explore.StopPanic, explore.StopSpill:
 		return vr, nil
 	}
 	if opt.Liveness && res.Violation == nil {

@@ -13,7 +13,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"os"
+
+	"repro/internal/storage"
 )
 
 // JobState names a verification job's position in the service
@@ -63,6 +64,11 @@ type JobOptions struct {
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 	// MemBudgetMiB is the per-job soft heap budget in MiB (0 = none).
 	MemBudgetMiB int `json:"mem_budget_mib,omitempty"`
+	// Spill arms the disk-spill degradation rung: the executor provides a
+	// per-job spill directory and a budget-pressed run completes
+	// exhaustively from disk instead of stopping at the 100% rung.
+	// Representation-only; excluded from the fingerprint.
+	Spill bool `json:"spill,omitempty"`
 }
 
 // JobSpec describes one verification job completely: a named preset,
@@ -137,6 +143,13 @@ type JobRun struct {
 	ProgressEvery int
 	// Context requests graceful interruption at layer boundaries.
 	Context context.Context
+	// SpillDir is the directory for the disk-spill rung when the spec
+	// asks for it (JobOptions.Spill); empty leaves the rung unarmed.
+	SpillDir string
+	// FS routes the run's disk I/O (checkpoint, spill) through a
+	// pluggable filesystem; nil means the real one. Fault injection for
+	// the chaos tests plugs in here.
+	FS storage.FS
 }
 
 // RunJob executes a job spec. The returned bool reports whether the run
@@ -151,9 +164,14 @@ func RunJob(spec JobSpec, run JobRun) (VerifyResult, bool, error) {
 	opt.Progress = run.Progress
 	opt.ProgressEvery = run.ProgressEvery
 	opt.CheckpointPath = run.CheckpointPath
+	opt.FS = run.FS
+	if spec.Options.Spill && run.SpillDir != "" {
+		opt.SpillDir = run.SpillDir
+	}
+	fsys := storage.OrOS(run.FS)
 	resumed := false
 	if run.Resume && run.CheckpointPath != "" {
-		if _, serr := os.Stat(run.CheckpointPath); serr == nil {
+		if _, serr := fsys.Stat(run.CheckpointPath); serr == nil {
 			opt.Resume = run.CheckpointPath
 			resumed = true
 		}
@@ -164,6 +182,14 @@ func RunJob(spec JobSpec, run JobRun) (VerifyResult, bool, error) {
 		// from the initial state (the fingerprint made a mismatch
 		// impossible for a same-spec resume, so this is corruption or a
 		// format bump — either way a fresh run is the correct recovery).
+		// The damaged file is quarantined under a .poisoned suffix, not
+		// deleted: the evidence of what went wrong on disk outlives the
+		// recovery.
+		if rerr := fsys.Rename(run.CheckpointPath, run.CheckpointPath+".poisoned"); rerr != nil {
+			// Removal beats leaving a poisoned file where the next resume
+			// will trip over it again.
+			fsys.Remove(run.CheckpointPath)
+		}
 		opt.Resume = ""
 		res, err = Verify(cfg, opt)
 		resumed = false

@@ -58,6 +58,7 @@ import (
 	"repro/internal/cimp"
 	"repro/internal/gcmodel"
 	"repro/internal/invariant"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -167,6 +168,19 @@ type Options struct {
 	// MemSample overrides the watchdog's heap probe (a test hook; nil
 	// means runtime.ReadMemStats HeapAlloc).
 	MemSample func() uint64
+	// SpillDir, if set, arms the disk-spill degradation rung: at the
+	// watchdog's 85% rung the explorer spills visited-set records and
+	// frontier layers to CRC-framed section files under this directory
+	// and keeps going, so a run that would stop at the 100% rung
+	// completes degraded-but-exhaustive (see Result.Spilled). Spilling
+	// changes only the representation of the search state, never the
+	// verdict, so it is excluded from OptionsFingerprint. A spill I/O
+	// failure stops the run loudly with StopSpill. See spill.go.
+	SpillDir string
+	// FS routes the run's durable writes (checkpoints and spill files)
+	// through a storage.FS; nil means the real filesystem. Process-
+	// local and verdict-neutral: excluded from OptionsFingerprint.
+	FS storage.FS
 }
 
 // CheckpointOptions configures run snapshots.
@@ -223,6 +237,10 @@ const (
 	// StopResume: Options.Resume was refused (options mismatch or a
 	// damaged snapshot). Nothing was explored; Result.Err says why.
 	StopResume StopReason = "resume-refused"
+	// StopSpill: the disk-spill rung was armed but its I/O failed; the
+	// run stopped at a boundary rather than complete on a disk that
+	// lies. Result.Err names the failed operation.
+	StopSpill StopReason = "spill-failed"
 )
 
 // PanicError is the structured report of a contained worker panic.
@@ -326,6 +344,9 @@ type Result struct {
 	// (keys, records, and audit-mode fingerprint strings; Go map bucket
 	// overhead excluded).
 	VisitedBytes int64
+	// Spilled reports the disk-spill rung's counters; zero unless
+	// Options.SpillDir was set and the rung fired.
+	Spilled SpillStats
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -352,6 +373,11 @@ type shard struct {
 	fps        map[uint64]string
 	collisions int64
 	bytes      int64
+	// Spilled representation (see spill.go): keys is the membership-
+	// only set, hot buffers the records inserted since the last flush
+	// to disk (retained only when traces are needed).
+	keys map[uint64]struct{}
+	hot  map[uint64]rec
 }
 
 // visited is the sharded visited set, keyed by fingerprint hash; the
@@ -361,6 +387,11 @@ type visited struct {
 	shards []shard
 	shift  uint
 	audit  bool
+	// spilled switches the shards to membership+hot representation;
+	// spillTrace says the hot buffers are live (Options.Trace). Both
+	// flip only at a layer boundary.
+	spilled    bool
+	spillTrace bool
 }
 
 func newVisited(n int, audit bool) *visited {
@@ -392,6 +423,19 @@ func (v *visited) shard(h uint64) *shard { return &v.shards[h>>v.shift] }
 func (v *visited) insert(h uint64, r rec, fp []byte) bool {
 	s := v.shard(h)
 	s.mu.Lock()
+	if v.spilled {
+		if _, ok := s.keys[h]; ok {
+			s.mu.Unlock()
+			return false
+		}
+		s.keys[h] = struct{}{}
+		s.bytes += spillKeyBytes
+		if v.spillTrace {
+			s.hot[h] = r
+		}
+		s.mu.Unlock()
+		return true
+	}
 	if _, ok := s.recs[h]; ok {
 		if v.audit && s.fps[h] != string(fp) {
 			s.collisions++
@@ -412,9 +456,43 @@ func (v *visited) insert(h uint64, r rec, fp []byte) bool {
 func (v *visited) lookup(h uint64) (rec, bool) {
 	s := v.shard(h)
 	s.mu.Lock()
+	if v.spilled {
+		if r, ok := s.hot[h]; ok {
+			s.mu.Unlock()
+			return r, true
+		}
+		// Membership-only: the record, if retained at all, is on disk
+		// (spillState.loadRecs serves the trace path).
+		_, ok := s.keys[h]
+		s.mu.Unlock()
+		return rec{}, ok
+	}
 	r, ok := s.recs[h]
 	s.mu.Unlock()
 	return r, ok
+}
+
+// spillConvert switches every shard to the spilled representation:
+// membership keys plus (when keep) the existing records as the first
+// hot buffer, to be flushed to disk at the next boundary. Runs only at
+// a layer boundary (no workers), like dropAudit.
+func (v *visited) spillConvert(keep bool) {
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.keys = make(map[uint64]struct{}, len(s.recs))
+		for h := range s.recs {
+			s.keys[h] = struct{}{}
+		}
+		if keep {
+			s.hot = s.recs
+		} else {
+			s.hot = nil
+		}
+		s.recs = nil
+		s.bytes = int64(len(s.keys)) * spillKeyBytes
+	}
+	v.spilled = true
+	v.spillTrace = keep
 }
 
 // dropAudit releases the audit-mode fingerprint strings and switches the
@@ -489,6 +567,15 @@ type explorer struct {
 	degraded    bool
 	emergency   bool
 	memSample   func() uint64
+
+	// Disk-spill rung (spill.go). spill is nil unless SpillDir is set;
+	// parked points at the on-disk file backing the layer currently
+	// being expanded (set at the boundary, before workers start);
+	// spillBad poisons the claim loops when a worker's spill read
+	// fails, mirroring capped/poisoned.
+	spill    *spillState
+	parked   *parkedLayer
+	spillBad atomic.Bool
 }
 
 // Run explores the model's reachable states, checking every invariant at
@@ -534,6 +621,9 @@ func RunFrom(m *gcmodel.Model, init cimp.System[*gcmodel.Local], checks []invari
 			runtime.ReadMemStats(&ms)
 			return ms.HeapAlloc
 		}
+	}
+	if opt.SpillDir != "" {
+		e.spill = newSpillState(opt.FS, opt.SpillDir, opt.Trace)
 	}
 	res := e.run()
 	res.Elapsed = time.Since(start)
@@ -615,7 +705,11 @@ func (e *explorer) run() Result {
 			res.Stopped = StopMaxDepth
 			break
 		}
+		if e.spill != nil {
+			e.parked = e.spill.takeParked()
+		}
 		layer = e.expandLayer(layer, depth)
+		e.parked = nil
 		layersDone++
 		if e.panicErr != nil {
 			// The visited set and counters may be mid-update for this
@@ -628,6 +722,15 @@ func (e *explorer) run() Result {
 			res.Stopped = StopViolation
 			break
 		}
+		if e.spill != nil {
+			if err := e.spill.firstErr(); err != nil {
+				// A worker's spill read failed mid-layer: the layer is
+				// torn, so nothing below may treat it as a cut.
+				res.Stopped = StopSpill
+				res.Err = err
+				break
+			}
+		}
 		if e.capped.Load() {
 			// Workers bail mid-layer on the cap, so the frontier is not
 			// a consistent cut: no checkpoint either.
@@ -636,11 +739,23 @@ func (e *explorer) run() Result {
 		}
 		// The layer barrier has been crossed: the frontier at depth+1 is
 		// complete and every counter is settled — the only consistent
-		// cut. Checkpoints, the memory watchdog, and cancellation all
-		// act here.
+		// cut. Checkpoints, the memory watchdog, the spill rung, and
+		// cancellation all act here.
 		if stop := e.watchdog(depth+1, layer, &res); stop {
-			res.Stopped = StopMemBudget
+			if err := e.spillErr(); err != nil {
+				res.Stopped = StopSpill
+				res.Err = err
+			} else {
+				res.Stopped = StopMemBudget
+			}
 			break
+		}
+		if e.spill != nil && e.spill.isActive() {
+			if err := e.spill.boundary(e.m, e.seen, layer); err != nil {
+				res.Stopped = StopSpill
+				res.Err = err
+				break
+			}
 		}
 		if interrupted(e.opt.Context) {
 			e.writeCheckpoint(depth+1, layer)
@@ -655,15 +770,34 @@ func (e *explorer) run() Result {
 	if e.viol != nil {
 		res.Violation = e.viol
 		if e.opt.Trace {
-			res.Violation.Trace = e.replay(e.tracePath(e.violHash))
+			if path, err := e.tracePath(e.violHash); err != nil {
+				// The verdict (a violation) stands; only its replayed
+				// counterexample was lost to the failed spill read.
+				if res.Err == nil {
+					res.Err = err
+				}
+			} else {
+				res.Violation.Trace = e.replay(path)
+			}
 		}
 	}
 	res.Complete = res.Stopped == StopNone
 	if res.Err == nil {
 		res.Err = e.ckptErr
 	}
+	if e.spill != nil {
+		e.spill.cleanup()
+	}
 	e.collect(&res)
 	return res
+}
+
+// spillErr returns the latched spill failure (nil without a spill).
+func (e *explorer) spillErr() error {
+	if e.spill == nil {
+		return nil
+	}
+	return e.spill.firstErr()
 }
 
 // interrupted reports whether ctx (possibly nil) has been cancelled.
@@ -688,6 +822,16 @@ func (e *explorer) watchdog(depth int, layer []qent, res *Result) bool {
 	used := int64(e.memSample())
 	switch {
 	case used >= e.opt.MemBudget:
+		if e.spill != nil {
+			// The spill rung replaces the stop: activate (idempotent)
+			// and keep exploring from disk. If the spill is broken the
+			// run stops anyway — run() turns the latched error into
+			// StopSpill rather than StopMemBudget.
+			if err := e.activateSpill(); err == nil {
+				return false
+			}
+			return true
+		}
 		e.writeCheckpoint(depth, layer)
 		return true
 	case used >= e.opt.MemBudget*85/100:
@@ -695,6 +839,11 @@ func (e *explorer) watchdog(depth int, layer []qent, res *Result) bool {
 			e.seen.dropAudit()
 			e.degraded = true
 			runtime.GC()
+		}
+		if e.spill != nil {
+			if err := e.activateSpill(); err != nil {
+				return true // latched; run() reports StopSpill
+			}
 		}
 	case used >= e.opt.MemBudget*70/100:
 		if !e.emergency {
@@ -717,6 +866,20 @@ func (e *explorer) collect(res *Result) {
 		res.HashCollisions += int(e.seen.shards[i].collisions)
 		res.VisitedBytes += e.seen.shards[i].bytes
 	}
+	if e.spill != nil {
+		res.Spilled = e.spill.stats()
+	}
+}
+
+// activateSpill drops audit retention (spilled shards are hash-only by
+// construction) and switches the visited set to its on-disk
+// representation. Idempotent; boundary-only.
+func (e *explorer) activateSpill() error {
+	if e.seen.audit {
+		e.seen.dropAudit()
+		e.degraded = true
+	}
+	return e.spill.activate(e.seen)
 }
 
 // snapshot captures the search at a layer boundary: the frontier at
@@ -781,9 +944,16 @@ func (e *explorer) writeCheckpoint(depth int, layer []qent) {
 	if e.opt.Checkpoint.Path == "" {
 		return
 	}
+	if e.spill != nil && e.spill.isActive() {
+		// A spilled run's records and frontier live on disk already and
+		// the in-memory layer holds hashes only: there is nothing a
+		// snapshot could capture. Checkpointing is suspended; resuming a
+		// spilled run means its last pre-spill checkpoint.
+		return
+	}
 	e.checkpoints++
 	snap := e.snapshot(depth, layer)
-	if _, err := checkpoint.Save(e.opt.Checkpoint.Path, snap); err != nil {
+	if _, err := checkpoint.SaveFS(storage.OrOS(e.opt.FS), e.opt.Checkpoint.Path, snap); err != nil {
 		e.checkpoints--
 		if e.ckptErr == nil {
 			e.ckptErr = err
@@ -962,11 +1132,28 @@ claim:
 		if hi > len(layer) {
 			hi = len(layer)
 		}
+		// A parked layer's states live on disk: fetch this chunk's range
+		// with one contiguous read. A failed read poisons the spill (the
+		// layer can no longer be expanded completely) and drains every
+		// worker, mirroring the cap.
+		var fetched []cimp.System[*gcmodel.Local]
+		if pl := e.parked; pl != nil {
+			var err error
+			fetched, err = pl.fetchRange(e.m, lo, hi)
+			if err != nil {
+				e.spill.fail(err)
+				e.spillBad.Store(true)
+				break claim
+			}
+		}
 		for i := lo; i < hi; i++ {
-			if e.capped.Load() || e.poisoned.Load() {
+			if e.capped.Load() || e.poisoned.Load() || e.spillBad.Load() {
 				break claim
 			}
 			cur := layer[i]
+			if fetched != nil {
+				cur.state = fetched[i-lo]
+			}
 			e.curHash[w].Store(cur.hash)
 			var amp gcmodel.Ample
 			if e.opt.Reduce {
@@ -1115,11 +1302,27 @@ type pathStep struct {
 }
 
 // tracePath walks parent links from h back to the initial state and
-// returns the path in forward order, initial state excluded.
-func (e *explorer) tracePath(h uint64) []pathStep {
+// returns the path in forward order, initial state excluded. Under an
+// active spill the flushed records are read back from disk first; an
+// unreadable spill file is an error (the violation verdict stands,
+// only its replayed counterexample is lost).
+func (e *explorer) tracePath(h uint64) ([]pathStep, error) {
+	var spilled map[uint64]rec
+	if e.spill != nil && e.spill.isActive() {
+		m, err := e.spill.loadRecs()
+		if err != nil {
+			return nil, err
+		}
+		spilled = m
+	}
 	var rev []pathStep
 	for h != e.initHash {
-		r, ok := e.seen.lookup(h)
+		r, ok := spilled[h]
+		if !ok {
+			// Not flushed yet: the hot buffer (or, unspilled, the
+			// ordinary record map) has it.
+			r, ok = e.seen.lookup(h)
+		}
 		if !ok {
 			panic("explore: visited-set parent chain broken (fingerprint hash collision?)")
 		}
@@ -1130,7 +1333,7 @@ func (e *explorer) tracePath(h uint64) []pathStep {
 	for i, p := range rev {
 		path[len(rev)-1-i] = p
 	}
-	return path
+	return path, nil
 }
 
 // replay materializes the states along a counterexample path by

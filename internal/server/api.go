@@ -3,12 +3,13 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/verdict"
 )
 
@@ -32,11 +33,14 @@ type JobInfo struct {
 	Cached bool `json:"cached,omitempty"`
 	// Resumed marks a job that restarted from a checkpoint after a
 	// daemon crash or shutdown.
-	Resumed       bool       `json:"resumed,omitempty"`
-	HasCheckpoint bool       `json:"has_checkpoint,omitempty"`
-	Submitted     time.Time  `json:"submitted"`
-	Started       *time.Time `json:"started,omitempty"`
-	Finished      *time.Time `json:"finished,omitempty"`
+	Resumed       bool `json:"resumed,omitempty"`
+	HasCheckpoint bool `json:"has_checkpoint,omitempty"`
+	// Attempts counts transient-failure retries: 0 for a job that ran
+	// once, n for one re-enqueued n times by the retry policy.
+	Attempts  int        `json:"attempts,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
 
 	Progress *ProgressInfo   `json:"progress,omitempty"`
 	Error    string          `json:"error,omitempty"`
@@ -65,7 +69,15 @@ type Metrics struct {
 	StatesExplored int64          `json:"states_explored"`
 	StatesPerSec   float64        `json:"states_per_sec"`
 	HeapAllocBytes uint64         `json:"heap_alloc_bytes"`
-	Jobs           []JobMetric    `json:"jobs,omitempty"`
+	// TmpSwept counts stale staging files quarantined at startup (a
+	// crash mid-atomic-write leaves its .tmp behind; the sweep moves
+	// them aside so they can never shadow real data).
+	TmpSwept int64 `json:"tmp_swept,omitempty"`
+	// StorageErrors counts disk I/O failures the engine observed;
+	// JobRetries counts transient-failure re-enqueues.
+	StorageErrors int64       `json:"storage_errors,omitempty"`
+	JobRetries    int64       `json:"job_retries,omitempty"`
+	Jobs          []JobMetric `json:"jobs,omitempty"`
 }
 
 // JobMetric is the per-job slice of /metrics.
@@ -76,10 +88,15 @@ type JobMetric struct {
 	MemBudgetMiB int           `json:"mem_budget_mib,omitempty"`
 }
 
-// Health is the GET /healthz body.
+// Health is the GET /healthz body. Status reports process liveness
+// ("ok" whenever the daemon can answer); Storage is "ok" or "degraded"
+// — degraded means a disk I/O failure was observed within the last
+// minute, with StorageError carrying the most recent message.
 type Health struct {
-	Status string `json:"status"`
-	Build  string `json:"build"`
+	Status       string `json:"status"`
+	Build        string `json:"build"`
+	Storage      string `json:"storage,omitempty"`
+	StorageError string `json:"storage_error,omitempty"`
 }
 
 // persistedJob is the on-disk job record (jobs/<id>/job.json).
@@ -129,40 +146,25 @@ func sortJobMetrics(jobs []JobMetric) {
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
 }
 
-// writeJSONAtomic marshals v and writes it with the checkpoint
-// package's discipline: tmp file, fsync, rename. A job record is never
-// half-written, whatever kills the process.
-func writeJSONAtomic(path string, v any) error {
+// writeJSONAtomic marshals v and writes it with the storage package's
+// atomic discipline: staged tmp file, fsync, rename. A job record is
+// never half-written, whatever kills the process — and every byte goes
+// through the engine's FS, so fault injection covers it.
+func writeJSONAtomic(fsys storage.FS, path string, v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("server: marshal %s: %w", path, err)
 	}
 	b = append(b, '\n')
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
-	if err != nil {
+	if err := storage.WriteFileAtomic(fsys, path, b); err != nil {
 		return fmt.Errorf("server: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: write %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: sync %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: close %s: %w", path, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("server: rename %s: %w", path, err)
 	}
 	return nil
 }
 
 // readJSON loads a JSON file into v.
-func readJSON(path string, v any) error {
-	b, err := os.ReadFile(path)
+func readJSON(fsys storage.FS, path string, v any) error {
+	b, err := storage.ReadFile(fsys, path)
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
@@ -170,4 +172,37 @@ func readJSON(path string, v any) error {
 		return fmt.Errorf("server: parse %s: %w", path, err)
 	}
 	return nil
+}
+
+// sweepTmp quarantines stale atomic-write staging files left in dir by
+// a crashed process: anything with the storage.TmpSuffix (and the
+// dot-prefixed CreateTemp pattern earlier builds used) is renamed into
+// dir/quarantine rather than deleted — the torn bytes stay inspectable
+// but can never be mistaken for data. Returns the number quarantined.
+func sweepTmp(fsys storage.FS, dir string) (int, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("server: sweep %s: %w", dir, err)
+	}
+	n := 0
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		stale := strings.HasSuffix(name, storage.TmpSuffix) ||
+			(strings.HasPrefix(name, ".") && strings.Contains(name, storage.TmpSuffix))
+		if !stale {
+			continue
+		}
+		qdir := filepath.Join(dir, "quarantine")
+		if err := fsys.MkdirAll(qdir); err != nil {
+			return n, fmt.Errorf("server: sweep %s: %w", dir, err)
+		}
+		if err := fsys.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)); err != nil {
+			return n, fmt.Errorf("server: sweep %s: %w", dir, err)
+		}
+		n++
+	}
+	return n, nil
 }

@@ -6,11 +6,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"log"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"repro/internal/storage"
 	"repro/internal/verdict"
 )
 
@@ -33,6 +33,7 @@ type cacheEntry struct {
 // cache is the CRC-checked on-disk verdict index, keyed by the options
 // fingerprint, with an in-memory mirror for lookups.
 type cache struct {
+	fs  storage.FS  // gcrt:guard immutable
 	dir string      // gcrt:guard immutable
 	log *log.Logger // gcrt:guard immutable
 
@@ -40,35 +41,44 @@ type cache struct {
 	recs map[uint64]*verdict.Record // gcrt:guard by(mu)
 }
 
-// openCache creates the cache directory if needed and loads every
-// valid entry; corrupt files are logged and skipped.
-func openCache(dir string, lg *log.Logger) (*cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+// openCache creates the cache directory if needed, quarantines stale
+// atomic-write staging files, and loads every valid entry; corrupt
+// files are logged and skipped. The second return is the number of
+// staging files swept.
+func openCache(fsys storage.FS, dir string, lg *log.Logger) (*cache, int, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, 0, fmt.Errorf("server: %w", err)
 	}
-	c := &cache{dir: dir, log: lg, recs: make(map[uint64]*verdict.Record)}
-	entries, err := os.ReadDir(dir)
+	swept, err := sweepTmp(fsys, dir)
 	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+		return nil, swept, err
+	}
+	if swept > 0 {
+		lg.Printf("cache: quarantined %d stale staging file(s)", swept)
+	}
+	c := &cache{fs: fsys, dir: dir, log: lg, recs: make(map[uint64]*verdict.Record)}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, swept, fmt.Errorf("server: %w", err)
 	}
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
 			continue
 		}
 		path := filepath.Join(dir, ent.Name())
-		fp, rec, err := loadEntry(path)
+		fp, rec, err := loadEntry(fsys, path)
 		if err != nil {
 			lg.Printf("cache: skipping %s: %v", ent.Name(), err)
 			continue
 		}
 		c.recs[fp] = rec
 	}
-	return c, nil
+	return c, swept, nil
 }
 
 // loadEntry parses and checksums one cache file.
-func loadEntry(path string) (uint64, *verdict.Record, error) {
-	b, err := os.ReadFile(path)
+func loadEntry(fsys storage.FS, path string) (uint64, *verdict.Record, error) {
+	b, err := storage.ReadFile(fsys, path)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -123,7 +133,7 @@ func (c *cache) put(fp uint64, summary string, rec verdict.Record) error {
 		Record:      raw,
 	}
 	path := filepath.Join(c.dir, ent.Fingerprint+".json")
-	if err := writeJSONAtomic(path, &ent); err != nil {
+	if err := writeJSONAtomic(c.fs, path, &ent); err != nil {
 		return err
 	}
 	c.mu.Lock()

@@ -16,12 +16,32 @@ import (
 )
 
 // Client is the thin HTTP client the gcmc -remote mode (and tests)
-// speak to a gcmcd daemon with.
+// speak to a gcmcd daemon with. Every unary request carries a
+// per-attempt timeout and is retried under a jittered exponential
+// backoff on transport errors and retryable HTTP statuses (408, 429,
+// 5xx), so a hung or flaky daemon can neither wedge the caller forever
+// nor fail a run a momentary drop would not have. Retrying a Submit is
+// safe: the daemon coalesces jobs by options fingerprint, so a resent
+// request whose first copy did land attaches to the in-flight job
+// instead of starting a duplicate run.
 type Client struct {
 	// Base is the daemon address, e.g. "http://127.0.0.1:8322".
 	Base string
-	// HTTP is the underlying client (nil = http.DefaultClient).
+	// HTTP is the underlying client (nil = http.DefaultClient). Leave
+	// its Timeout zero: streams are long-lived by design; the client
+	// applies Timeout per unary attempt via the request context.
 	HTTP *http.Client
+	// Timeout bounds each unary request attempt (0 = 30s; negative
+	// disables).
+	Timeout time.Duration
+	// Retry governs unary-request retries (zero value = 4 attempts,
+	// 100ms base, 2s cap).
+	Retry RetryPolicy
+	// StreamIdleTimeout kills a progress stream that goes silent for
+	// this long — a wedged daemon mid-stream otherwise blocks Stream
+	// forever. The kill is not fatal: Stream falls back to polling.
+	// (0 = 2m; negative disables.)
+	StreamIdleTimeout time.Duration
 }
 
 // NewClient returns a client for the daemon at base.
@@ -36,47 +56,97 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return 30 * time.Second
+	}
+	if c.Timeout < 0 {
+		return 0
+	}
+	return c.Timeout
+}
+
 // do issues a request and decodes the JSON response into out,
-// converting API error bodies into Go errors.
+// converting API error bodies into Go errors. Transport failures and
+// retryable statuses are retried with backoff until the budget or the
+// caller's context runs out; the request body is re-materialized per
+// attempt from the once-marshalled payload.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: %w", err)
 		}
-		rd = bytes.NewReader(b)
+		payload = b
+	}
+	pol := c.Retry.withDefaults(4, 100*time.Millisecond, 2*time.Second)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		raw, status, err := c.once(ctx, method, path, payload)
+		switch {
+		case err == nil && status < 400:
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(raw, out); err != nil {
+				return fmt.Errorf("client: %s %s: parse: %w", method, path, err)
+			}
+			return nil
+		case err == nil:
+			var ae apiError
+			if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+				lastErr = fmt.Errorf("client: %s %s: %s", method, path, ae.Error)
+			} else {
+				lastErr = fmt.Errorf("client: %s %s: HTTP %d", method, path, status)
+			}
+			if !retryableStatus(status) {
+				return lastErr
+			}
+		default:
+			lastErr = err
+		}
+		if attempt >= pol.MaxAttempts {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(pol.Backoff(attempt)):
+		}
+	}
+}
+
+// once performs a single request attempt under the per-attempt timeout
+// and reads the whole response body. A non-nil error is a transport
+// failure (always retryable); HTTP-level errors come back as a status.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte) ([]byte, int, error) {
+	if t := c.timeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return nil, 0, fmt.Errorf("client: %w", err)
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return nil, 0, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return nil, 0, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
-	if resp.StatusCode >= 400 {
-		var ae apiError
-		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("client: %s %s: %s", method, path, ae.Error)
-		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("client: %s %s: parse: %w", method, path, err)
-	}
-	return nil
+	return raw, resp.StatusCode, nil
 }
 
 // Submit posts a job spec.
@@ -129,16 +199,35 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobIn
 }
 
 // Stream follows the job's NDJSON progress stream, invoking fn (which
-// may be nil) per snapshot, and returns the terminal snapshot. If the
-// stream drops before the job settles, Stream falls back to polling.
+// may be nil) per snapshot, and returns the terminal snapshot. A
+// stream that goes silent past StreamIdleTimeout is killed and the
+// result fetched by polling, so a wedged daemon cannot hold the caller
+// hostage; the same fallback covers a stream that drops before the job
+// settles.
 func (c *Client) Stream(ctx context.Context, id string, fn func(JobInfo)) (JobInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/stream", nil)
+	idle := c.StreamIdleTimeout
+	if idle == 0 {
+		idle = 2 * time.Minute
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var idleTimer *time.Timer
+	if idle > 0 {
+		idleTimer = time.AfterFunc(idle, cancel)
+		defer idleTimer.Stop()
+	}
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("client: %w", err)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return JobInfo{}, fmt.Errorf("client: stream %s: %w", id, err)
+		if ctx.Err() != nil {
+			return JobInfo{}, fmt.Errorf("client: stream %s: %w", id, err)
+		}
+		// Connection refused or idle-killed before the stream opened:
+		// poll instead (the daemon may be mid-restart).
+		return c.Wait(ctx, id, 0)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -149,6 +238,9 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobInfo)) (JobIn
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
+		if idleTimer != nil {
+			idleTimer.Reset(idle)
+		}
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -169,7 +261,7 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobInfo)) (JobIn
 		return last, ctx.Err()
 	}
 	// Stream ended without a terminal line (daemon restarting, proxy
-	// timeout): fall back to polling.
+	// timeout, idle kill): fall back to polling.
 	return c.Wait(ctx, id, 0)
 }
 

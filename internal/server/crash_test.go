@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -16,10 +18,12 @@ import (
 )
 
 // startDaemon launches a gcmcd binary on a fresh port against data and
-// returns the command plus the client pointed at it.
-func startDaemon(t *testing.T, bin, data string) (*exec.Cmd, *Client) {
+// returns the command plus the client pointed at it. extra flags are
+// appended (e.g. -chaos-storage for the fault-injection tests).
+func startDaemon(t *testing.T, bin, data string, extra ...string) (*exec.Cmd, *Client) {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", data, "-checkpoint-every", "1", "-q")
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", data, "-checkpoint-every", "1", "-q"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -154,5 +158,82 @@ func TestCrashRecovery(t *testing.T) {
 	}
 	if m2.CacheHits < 1 {
 		t.Errorf("cache hit not counted: %+v", m2)
+	}
+}
+
+// TestCrashAtCheckpointSave kills the daemon AT chosen operations
+// inside a checkpoint save — the create of the staging file, a
+// mid-payload write, and an op deep enough to land in a later save —
+// using FaultFS crash-points (the injected crash tears the in-flight
+// write and exits 137, like SIGKILL at the worst instant). A clean
+// restart on the remains must finish the job with a verdict
+// byte-identical (canonically) to an uninterrupted run's.
+func TestCrashAtCheckpointSave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "gcmcd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/gcmcd").CombinedOutput(); err != nil {
+		t.Fatalf("building gcmcd: %v\n%s", err, out)
+	}
+	ctx := context.Background()
+
+	// The uninterrupted reference, computed once.
+	res, _, err := core.RunJob(slowSpec(), core.JobRun{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _, err := slowSpec().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := verdict.New("tiny", core.Ablations{}, fp, res)
+	want := canonBytes(t, &ref)
+
+	// Skips select which run.ckpt.tmp operation dies: 0 is the staging
+	// file's create, 3 a mid-payload write of the first save, 13 lands
+	// in a later save's write/sync/rename sequence.
+	for _, skip := range []int{0, 3, 13} {
+		t.Run(fmt.Sprintf("skip=%d", skip), func(t *testing.T) {
+			data := t.TempDir()
+			spec := fmt.Sprintf("crash@run.ckpt.tmp+%d", skip)
+			d1, cli1 := startDaemon(t, bin, data, "-chaos-storage", spec)
+			info, submitErr := cli1.Submit(ctx, slowSpec(), 0)
+			// The crash can race the Submit response off the wire; the
+			// job record itself is persisted before the response is
+			// written, so recovery below still finds it.
+			if submitErr != nil {
+				t.Logf("submit raced the injected crash (job persisted regardless): %v", submitErr)
+			}
+			err := d1.Wait()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) || ee.ExitCode() != 137 {
+				t.Fatalf("daemon exit after injected crash: %v (want exit 137)", err)
+			}
+
+			d2, cli2 := startDaemon(t, bin, data)
+			defer func() {
+				d2.Process.Signal(syscall.SIGTERM)
+				d2.Wait()
+			}()
+			id := info.ID
+			if id == "" {
+				jobs, err := cli2.Jobs(ctx)
+				if err != nil || len(jobs) != 1 {
+					t.Fatalf("recovering job list: %v (%d jobs)", err, len(jobs))
+				}
+				id = jobs[0].ID
+			}
+			done := pollJob(t, cli2, id, "done", func(i JobInfo) bool {
+				return i.State == core.JobDone
+			})
+			if done.Verdict == nil {
+				t.Fatal("no verdict after crash recovery")
+			}
+			if got := canonBytes(t, done.Verdict); !bytes.Equal(got, want) {
+				t.Errorf("verdict after crash at run.ckpt.tmp+%d differs from uninterrupted run:\n--- recovered ---\n%s\n--- clean ---\n%s",
+					skip, got, want)
+			}
+		})
 	}
 }

@@ -1,0 +1,392 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/verdict"
+)
+
+// discardLog is a logger for cache-level tests that do not go through
+// an Engine.
+func discardLog() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// fakeRecord builds a distinguishable verdict record (states is the
+// marker the matrix asserts on).
+func fakeRecord(states int) verdict.Record {
+	return verdict.Record{
+		Schema:  verdict.Schema,
+		Preset:  "tiny",
+		Verdict: "no-violation",
+		States:  states,
+		Depth:   7,
+	}
+}
+
+// TestCacheFaultMatrix walks every fault kind through every operation
+// of a cache put that overwrites an existing entry, then reopens the
+// directory with a clean filesystem. The durability invariant: the
+// reloaded cache serves the old record, the new record, or nothing —
+// never a third, silently corrupt image. (openCache logs and skips
+// entries that fail the CRC; a skip is a loud miss, not a wrong
+// answer.)
+func TestCacheFaultMatrix(t *testing.T) {
+	const fp = 0xfeedface
+	// Probe: count the ops one put performs so the matrix can target
+	// each of them by index.
+	probeDir := t.TempDir()
+	probe := storage.NewFaultFS(nil)
+	pc, _, err := openCache(probe, probeDir, discardLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.put(fp, "probe", fakeRecord(100)); err != nil {
+		t.Fatal(err)
+	}
+	base := probe.Ops()
+	if err := pc.put(fp, "probe", fakeRecord(200)); err != nil {
+		t.Fatal(err)
+	}
+	putOps := probe.Ops() - base
+	if putOps < 4 {
+		t.Fatalf("probe counted only %d ops for a put; expected at least create/write/sync/rename", putOps)
+	}
+
+	for _, kind := range storage.Kinds {
+		for off := 0; off < putOps; off++ {
+			t.Run(fmt.Sprintf("%s@put+%d", kind, off), func(t *testing.T) {
+				dir := t.TempDir()
+				ffs := storage.NewFaultFS(nil)
+				c, _, err := openCache(ffs, dir, discardLog())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.put(fp, "old", fakeRecord(100)); err != nil {
+					t.Fatal(err)
+				}
+				ffs.FailAt(ffs.Ops()+off, kind)
+				putErr := c.put(fp, "new", fakeRecord(200))
+				if putErr != nil && kind == storage.TornRename {
+					// A torn rename that surfaced an error fired on a
+					// non-rename op — still a loud failure, still fine.
+					t.Logf("torn-rename surfaced as: %v", putErr)
+				}
+
+				// Recovery: reopen with a clean FS, like a restarted
+				// daemon would.
+				reopened, _, err := openCache(storage.OrOS(nil), dir, discardLog())
+				if err != nil {
+					t.Fatalf("reopen after %s at put+%d: %v", kind, off, err)
+				}
+				rec, ok := reopened.get(fp)
+				switch {
+				case !ok:
+					if putErr == nil && kind != storage.TornRename && kind != storage.Crash {
+						t.Errorf("put claimed success but the entry vanished (fault %s at put+%d)", kind, off)
+					}
+				case rec.States == 100, rec.States == 200:
+					// Old or new image — both are settled verdicts.
+				default:
+					t.Errorf("reloaded cache serves a corrupt record (states=%d) after %s at put+%d",
+						rec.States, kind, off)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineRetryTransient injects a transient EIO into the first
+// verdict.json write and requires the engine to retry the job to a
+// correct completion: attempts counted, metrics incremented, /healthz
+// degraded, verdict identical to a clean run's.
+func TestEngineRetryTransient(t *testing.T) {
+	ffs := storage.NewFaultFS(nil)
+	ffs.FailPath("verdict.json", storage.EIO, 0)
+	e, err := New(Options{
+		DataDir:         t.TempDir(),
+		Workers:         1,
+		CorpusPresets:   []string{"tiny"},
+		CorpusMaxStates: 2000,
+		FS:              ffs,
+		Retry:           RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, e)
+
+	info, err := e.Submit(quickSpec(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, e, info.ID, core.JobDone)
+	if done.Attempts < 1 {
+		t.Errorf("job settled with attempts=%d; the injected EIO should have forced a retry", done.Attempts)
+	}
+	if done.Verdict == nil {
+		t.Fatal("no verdict after retry")
+	}
+
+	ref, _, err := core.RunJob(quickSpec(), core.JobRun{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Verdict.States != ref.States || done.Verdict.Depth != ref.Depth ||
+		done.Verdict.Verdict != ref.Status() {
+		t.Errorf("retried verdict differs from clean run: got %s %d@%d, want %s %d@%d",
+			done.Verdict.Verdict, done.Verdict.States, done.Verdict.Depth,
+			ref.Status(), ref.States, ref.Depth)
+	}
+
+	m := e.Metrics()
+	if m.JobRetries < 1 {
+		t.Errorf("JobRetries = %d, want >= 1", m.JobRetries)
+	}
+	if m.StorageErrors < 1 {
+		t.Errorf("StorageErrors = %d, want >= 1", m.StorageErrors)
+	}
+	h := e.Healthz()
+	if h.Status != "ok" {
+		t.Errorf("Healthz.Status = %q; storage trouble must not fail liveness", h.Status)
+	}
+	if h.Storage != "degraded" || h.StorageError == "" {
+		t.Errorf("Healthz after injected EIO: storage=%q error=%q, want degraded with a message",
+			h.Storage, h.StorageError)
+	}
+}
+
+// TestRetryBudgetExhausted pins the other side of the policy: a
+// storage fault that never clears fails the job loudly once the
+// attempt budget is spent, instead of retrying forever.
+func TestRetryBudgetExhausted(t *testing.T) {
+	ffs := storage.NewFaultFS(nil)
+	// Every verdict write fails: one scheduled path-fault per possible
+	// attempt (each fires once).
+	for i := 0; i < 8; i++ {
+		ffs.FailPath("verdict.json", storage.EIO, 0)
+	}
+	e, err := New(Options{
+		DataDir:         t.TempDir(),
+		Workers:         1,
+		CorpusPresets:   []string{"tiny"},
+		CorpusMaxStates: 2000,
+		FS:              ffs,
+		Retry:           RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, e)
+
+	info, err := e.Submit(quickSpec(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitFor(t, e, info.ID, "failed", func(i JobInfo) bool {
+		return i.State == core.JobFailed
+	})
+	if failed.Error == "" {
+		t.Error("failed job carries no error message")
+	}
+	if failed.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (MaxAttempts 2 = one retry)", failed.Attempts)
+	}
+}
+
+// TestTmpSweep plants stale atomic-write staging files — the debris a
+// crash mid-write leaves — in the cache and a job directory, and
+// requires engine startup to quarantine (not delete) every one.
+func TestTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	jobDir := filepath.Join(dir, "jobs", "j000001")
+	for _, d := range []string{cacheDir, jobDir} {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := []string{
+		filepath.Join(cacheDir, "0123456789abcdef.json.tmp"),
+		filepath.Join(cacheDir, ".verdict.json.tmp424242"), // legacy CreateTemp pattern
+		filepath.Join(jobDir, "job.json.tmp"),
+	}
+	for _, p := range stale {
+		if err := os.WriteFile(p, []byte("{\"torn\":"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e := newEngine(t, dir)
+	defer shutdown(t, e)
+
+	if m := e.Metrics(); m.TmpSwept != int64(len(stale)) {
+		t.Errorf("TmpSwept = %d, want %d", m.TmpSwept, len(stale))
+	}
+	for _, p := range stale {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale staging file still in place: %s", p)
+		}
+		q := filepath.Join(filepath.Dir(p), "quarantine", filepath.Base(p))
+		if _, err := os.Stat(q); err != nil {
+			t.Errorf("stale staging file not quarantined at %s: %v", q, err)
+		}
+	}
+}
+
+// TestFlakyProxyRetry is the flaky-network acceptance test: a proxy in
+// front of the engine drops about a third of all requests — some
+// rejected before they reach the engine, and, crucially, the very
+// first Submit processed and then dropped on the response path. The
+// client's retry budget must settle the correct verdict, and the
+// fingerprint-coalescing on resubmit must prevent any duplicate
+// execution.
+func TestFlakyProxyRetry(t *testing.T) {
+	e := newEngine(t, t.TempDir())
+	defer shutdown(t, e)
+	h := e.Handler()
+
+	var n atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		switch {
+		case i == 1:
+			// Worst case for idempotency: the engine processes the
+			// Submit, then the response is lost on the wire.
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			panic(http.ErrAbortHandler)
+		case i%3 == 0:
+			writeError(w, http.StatusServiceUnavailable, "injected drop")
+		default:
+			h.ServeHTTP(w, r)
+		}
+	}))
+	defer proxy.Close()
+
+	cli := &Client{
+		Base:    proxy.URL,
+		Timeout: 5 * time.Second,
+		Retry:   RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	}
+	ctx := context.Background()
+	info, err := cli.Submit(ctx, quickSpec(), 0)
+	if err != nil {
+		t.Fatalf("submit through flaky proxy: %v", err)
+	}
+	done, err := cli.Wait(ctx, info.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait through flaky proxy: %v", err)
+	}
+	if done.State != core.JobDone || done.Verdict == nil {
+		t.Fatalf("job did not settle: %+v", done)
+	}
+
+	// Correctness and no-duplicate-execution, against a clean run.
+	ref, _, err := core.RunJob(quickSpec(), core.JobRun{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Verdict.States != ref.States || done.Verdict.Verdict != ref.Status() {
+		t.Errorf("verdict through flaky proxy: got %s %d states, want %s %d",
+			done.Verdict.Verdict, done.Verdict.States, ref.Status(), ref.States)
+	}
+	// The retried Submit either coalesces with the in-flight job or —
+	// if the first copy already settled — comes back as a cache hit.
+	// Both are fine; what must never happen is a second real execution.
+	executed := 0
+	for _, j := range e.List() {
+		if !j.Cached {
+			executed++
+		}
+	}
+	if executed != 1 {
+		t.Errorf("retried submit left %d non-cached jobs; coalescing should leave exactly 1", executed)
+	}
+	if m := e.Metrics(); m.StatesExplored != int64(ref.States) {
+		t.Errorf("engine explored %d states for a %d-state job — a dropped Submit was re-executed",
+			m.StatesExplored, ref.States)
+	}
+	if n.Load() < 4 {
+		t.Errorf("proxy saw only %d requests; the retry path was not exercised", n.Load())
+	}
+}
+
+// TestClientTimeout pins that a daemon that accepts connections and
+// then hangs cannot wedge the client: each attempt is bounded by
+// Timeout and the overall call returns within the retry budget.
+func TestClientTimeout(t *testing.T) {
+	hang := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer srv.Close()
+	defer close(hang)
+
+	cli := &Client{
+		Base:    srv.URL,
+		Timeout: 100 * time.Millisecond,
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}
+	start := time.Now()
+	_, err := cli.Health(context.Background())
+	if err == nil {
+		t.Fatal("Health against a hung daemon reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("client took %s to give up on a hung daemon; per-attempt timeout is not biting", elapsed)
+	}
+}
+
+// TestClientStreamIdle pins the stream watchdog: a progress stream
+// that goes silent mid-job is killed after StreamIdleTimeout and the
+// result recovered by polling, so gcmc -remote cannot hang on a
+// wedged daemon.
+func TestClientStreamIdle(t *testing.T) {
+	const id = "j000001"
+	running := JobInfo{ID: id, State: core.JobRunning}
+	terminal := JobInfo{ID: id, State: core.JobDone, Verdict: &verdict.Record{Verdict: "no-violation"}}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/"+id+"/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		json.NewEncoder(w).Encode(running)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done() // one line, then silence
+	})
+	mux.HandleFunc("GET /v1/jobs/"+id, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, terminal)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cli := &Client{
+		Base:              srv.URL,
+		Timeout:           2 * time.Second,
+		StreamIdleTimeout: 150 * time.Millisecond,
+	}
+	start := time.Now()
+	got, err := cli.Stream(context.Background(), id, nil)
+	if err != nil {
+		t.Fatalf("Stream did not recover from a silent stream: %v", err)
+	}
+	if got.State != core.JobDone {
+		t.Errorf("Stream settled state %s, want %s", got.State, core.JobDone)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("Stream took %s; the idle watchdog is not biting", elapsed)
+	}
+}

@@ -169,7 +169,7 @@ func (e *Engine) handleEnqueueCorpus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Build: e.Build()})
+	writeJSON(w, http.StatusOK, e.Healthz())
 }
 
 func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {

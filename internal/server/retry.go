@@ -1,0 +1,68 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy bounds how the service retries transient failures:
+// MaxAttempts total tries, with a jittered exponential delay between
+// them that starts at BaseDelay and is capped at MaxDelay. The zero
+// value means "use the caller's defaults" (the engine and the client
+// each fill in their own via withDefaults).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included.
+	MaxAttempts int
+	// BaseDelay is the delay before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults(attempts int, base, max time.Duration) RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = base
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = max
+	}
+	return p
+}
+
+// Backoff returns the delay before attempt n+1, given that attempt n
+// (1-based) just failed: exponential in n, capped at MaxDelay, with the
+// upper half jittered so a fleet of retriers does not thunder in step.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay || d <= 0 {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// timeouts, throttling, and server-side failures. 4xx client errors
+// (other than 408/429) are deterministic and retrying them only repeats
+// the mistake.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests,
+		http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}

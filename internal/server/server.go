@@ -41,7 +41,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -50,6 +49,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/storage"
 	"repro/internal/verdict"
 )
 
@@ -74,6 +74,14 @@ type Options struct {
 	// CorpusPresets restricts the corpus matrix to these presets
 	// (nil = every shipped preset).
 	CorpusPresets []string
+	// FS routes every byte of the engine's disk I/O — job records,
+	// checkpoints, verdicts, the cache — through a pluggable filesystem;
+	// nil means the real one. Fault injection (storage.FaultFS) plugs in
+	// here.
+	FS storage.FS
+	// Retry governs transient-storage-failure re-enqueues (zero value =
+	// 3 attempts, 250ms base, 10s cap).
+	Retry RetryPolicy
 	// Log receives service events (nil = discard).
 	Log *log.Logger
 }
@@ -86,6 +94,8 @@ type Engine struct {
 	log   *log.Logger // gcrt:guard immutable
 	cache *cache      // gcrt:guard immutable
 	start time.Time   // gcrt:guard immutable
+	fs    storage.FS  // gcrt:guard immutable
+	retry RetryPolicy // gcrt:guard immutable
 
 	mu     sync.Mutex      // gcrt:guard atomic
 	cond   *sync.Cond      // gcrt:guard immutable
@@ -99,6 +109,12 @@ type Engine struct {
 	cacheHits, cacheMisses int64        // gcrt:guard by(mu)
 	statesExplored         int64        // gcrt:guard by(mu)
 	corpusCells            []CorpusCell // memoized matrix; gcrt:guard by(mu)
+
+	tmpSwept       int64     // staging files quarantined at startup; gcrt:guard by(mu)
+	storageErrors  int64     // disk failures observed; gcrt:guard by(mu)
+	jobRetries     int64     // transient-failure re-enqueues; gcrt:guard by(mu)
+	lastStorageErr time.Time // drives the /healthz degraded window; gcrt:guard by(mu)
+	lastStorageMsg string    // gcrt:guard by(mu)
 }
 
 // job is the engine-internal job state; all fields are guarded by
@@ -123,6 +139,7 @@ type job struct {
 	errMsg    string                    // gcrt:guard by(Engine.mu)
 	verdict   *verdict.Record           // gcrt:guard by(Engine.mu)
 	cancel    context.CancelFunc        // gcrt:guard by(Engine.mu)
+	attempts  int                       // transient-failure retries so far; gcrt:guard by(Engine.mu)
 	subs      map[chan JobInfo]struct{} // gcrt:guard by(Engine.mu)
 }
 
@@ -147,21 +164,25 @@ func New(opt Options) (*Engine, error) {
 	if lg == nil {
 		lg = log.New(io.Discard, "", 0)
 	}
+	fsys := storage.OrOS(opt.FS)
 	for _, d := range []string{opt.DataDir, filepath.Join(opt.DataDir, "jobs")} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d); err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	c, err := openCache(filepath.Join(opt.DataDir, "cache"), lg)
+	c, swept, err := openCache(fsys, filepath.Join(opt.DataDir, "cache"), lg)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		opt:   opt,
-		log:   lg,
-		cache: c,
-		start: time.Now(),
-		jobs:  make(map[string]*job),
+		opt:      opt,
+		log:      lg,
+		cache:    c,
+		start:    time.Now(),
+		fs:       fsys,
+		retry:    opt.Retry.withDefaults(3, 250*time.Millisecond, 10*time.Second),
+		jobs:     make(map[string]*job),
+		tmpSwept: int64(swept),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	if err := e.recover(); err != nil {
@@ -241,7 +262,8 @@ func (e *Engine) Submit(spec core.JobSpec, priority int, corpus bool) (JobInfo, 
 		if err := e.persistLocked(j); err != nil {
 			return JobInfo{}, err
 		}
-		if err := writeJSONAtomic(e.jobFile(j.id, "verdict.json"), &hit); err != nil {
+		if err := writeJSONAtomic(e.fs, e.jobFile(j.id, "verdict.json"), &hit); err != nil {
+			e.noteStorageErrorLocked(err)
 			return JobInfo{}, err
 		}
 		e.log.Printf("job %s: cache hit (fp %016x, %s)", j.id, fp, spec.Preset)
@@ -400,7 +422,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 // checkpoint resumes from it (state "resuming"); one killed before its
 // first snapshot restarts from scratch (state "queued").
 func (e *Engine) recover() error {
-	dirs, err := os.ReadDir(filepath.Join(e.opt.DataDir, "jobs"))
+	dirs, err := e.fs.ReadDir(filepath.Join(e.opt.DataDir, "jobs"))
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
@@ -409,8 +431,14 @@ func (e *Engine) recover() error {
 			continue
 		}
 		id := d.Name()
+		if n, err := sweepTmp(e.fs, e.jobDir(id)); err != nil {
+			e.log.Printf("recover: sweep %s: %v", id, err)
+		} else if n > 0 {
+			e.tmpSwept += int64(n)
+			e.log.Printf("recover: %s: quarantined %d stale staging file(s)", id, n)
+		}
 		var pj persistedJob
-		if err := readJSON(e.jobFile(id, "job.json"), &pj); err != nil {
+		if err := readJSON(e.fs, e.jobFile(id, "job.json"), &pj); err != nil {
 			e.log.Printf("recover: skipping %s: %v", id, err)
 			continue
 		}
@@ -442,7 +470,7 @@ func (e *Engine) recover() error {
 		if j.state.Terminal() {
 			if j.state == core.JobDone {
 				var rec verdict.Record
-				if err := readJSON(e.jobFile(id, "verdict.json"), &rec); err == nil {
+				if err := readJSON(e.fs, e.jobFile(id, "verdict.json"), &rec); err == nil {
 					j.verdict = &rec
 				} else if cached, ok := e.cache.get(fp); ok {
 					j.verdict = cached
@@ -456,7 +484,7 @@ func (e *Engine) recover() error {
 		// Non-terminal: the previous process died (or was killed) with
 		// this job in flight. Re-enqueue it, resuming from the latest
 		// checkpoint when one survived.
-		if _, err := os.Stat(e.jobFile(id, "run.ckpt")); err == nil {
+		if _, err := e.fs.Stat(e.jobFile(id, "run.ckpt")); err == nil {
 			j.state = core.JobResuming
 			j.resumed = true
 		} else {
@@ -566,6 +594,8 @@ func (e *Engine) runJob(ctx context.Context, j *job) {
 		// Stream subscribers want reports well before the checker's
 		// 8192-state default on small jobs.
 		ProgressEvery: 500,
+		SpillDir:      e.jobFile(j.id, "spill"),
+		FS:            e.fs,
 	})
 
 	e.mu.Lock()
@@ -577,6 +607,12 @@ func (e *Engine) runJob(ctx context.Context, j *job) {
 	}
 	switch {
 	case err != nil:
+		if storage.IsTransient(err) {
+			e.noteStorageErrorLocked(err)
+			if e.requeueLocked(j, err) {
+				return
+			}
+		}
 		j.state = core.JobFailed
 		j.errMsg = err.Error()
 	case res.Stopped == explore.StopInterrupted:
@@ -590,15 +626,40 @@ func (e *Engine) runJob(ctx context.Context, j *job) {
 	case res.Stopped == explore.StopPanic:
 		j.state = core.JobFailed
 		j.errMsg = res.Err.Error()
+	case res.Stopped == explore.StopSpill:
+		// The disk-spill rung failed mid-run: the exploration is
+		// incomplete and cannot settle a verdict. A transient disk
+		// re-enqueues; a permanent one fails loudly.
+		e.noteStorageErrorLocked(res.Err)
+		if storage.IsTransient(res.Err) && e.requeueLocked(j, res.Err) {
+			return
+		}
+		j.state = core.JobFailed
+		j.errMsg = res.Err.Error()
 	default:
-		j.state = core.JobDone
 		rec := verdict.New(j.spec.Preset, j.spec.Ablations, j.fp, res)
 		rec.Build = buildinfo.String()
-		j.verdict = &rec
-		if err := writeJSONAtomic(e.jobFile(j.id, "verdict.json"), &rec); err != nil {
+		if err := writeJSONAtomic(e.fs, e.jobFile(j.id, "verdict.json"), &rec); err != nil {
+			// A verdict that cannot be persisted is not settled: the
+			// whole point of the service is durable verdicts. Transient
+			// failures re-enqueue (the run resumes from its final
+			// checkpoint, or replays — either way the verdict is
+			// recomputed identically); a permanent one fails the job.
+			e.noteStorageErrorLocked(err)
 			e.log.Printf("job %s: verdict persist: %v", j.id, err)
+			if storage.IsTransient(err) && e.requeueLocked(j, err) {
+				return
+			}
+			j.state = core.JobFailed
+			j.errMsg = err.Error()
+			break
 		}
+		j.state = core.JobDone
+		j.verdict = &rec
 		if err := e.cache.put(j.fp, j.summary, rec); err != nil {
+			// The per-job verdict survived; a cache-write failure only
+			// costs a future cache hit.
+			e.noteStorageErrorLocked(err)
 			e.log.Printf("job %s: cache: %v", j.id, err)
 		}
 	}
@@ -607,7 +668,45 @@ func (e *Engine) runJob(ctx context.Context, j *job) {
 		e.log.Printf("job %s: persist: %v", j.id, err)
 	}
 	e.notifyLocked(j)
-	e.log.Printf("job %s: %s (%d states, resumed=%v)", j.id, j.state, res.States, j.resumed)
+	e.log.Printf("job %s: %s (%d states, resumed=%v, attempts=%d)", j.id, j.state, res.States, j.resumed, j.attempts)
+}
+
+// requeueLocked re-enqueues a job after a transient storage failure:
+// attempts increments, the job goes back to queued, and a backoff timer
+// pushes it onto the heap when the delay elapses. Returns false when
+// the retry budget is spent, the engine is closing, or the job was
+// cancelled — the caller then settles the job as failed.
+func (e *Engine) requeueLocked(j *job, cause error) bool {
+	if e.closed || j.cancelReq {
+		return false
+	}
+	if j.attempts+1 >= e.retry.MaxAttempts {
+		e.log.Printf("job %s: retry budget spent (%d attempts): %v", j.id, j.attempts+1, cause)
+		return false
+	}
+	j.attempts++
+	j.state = core.JobQueued
+	e.jobRetries++
+	delay := e.retry.Backoff(j.attempts)
+	if err := e.persistLocked(j); err != nil {
+		e.log.Printf("job %s: persist: %v", j.id, err)
+	}
+	e.notifyLocked(j)
+	e.log.Printf("job %s: transient storage failure (attempt %d/%d, retrying in %s): %v",
+		j.id, j.attempts, e.retry.MaxAttempts, delay.Round(time.Millisecond), cause)
+	time.AfterFunc(delay, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		// The job may have been cancelled (or the engine shut down)
+		// while the timer ran; a queued-state check keeps the push
+		// honest — and a shutdown leaves the persisted queued record
+		// for the next start's recovery.
+		if e.closed || j.state != core.JobQueued {
+			return
+		}
+		e.pushLocked(j)
+	})
+	return true
 }
 
 // onProgress publishes a checker progress report to the job record,
@@ -657,10 +756,11 @@ func (e *Engine) notifyLocked(j *job) {
 
 // persistLocked writes the job record atomically.
 func (e *Engine) persistLocked(j *job) error {
-	if err := os.MkdirAll(e.jobDir(j.id), 0o755); err != nil {
+	if err := e.fs.MkdirAll(e.jobDir(j.id)); err != nil {
+		e.noteStorageErrorLocked(err)
 		return fmt.Errorf("server: %w", err)
 	}
-	return writeJSONAtomic(e.jobFile(j.id, "job.json"), persistedJob{
+	err := writeJSONAtomic(e.fs, e.jobFile(j.id, "job.json"), persistedJob{
 		ID:        j.id,
 		Spec:      j.spec,
 		State:     j.state,
@@ -673,6 +773,36 @@ func (e *Engine) persistLocked(j *job) error {
 		Finished:  j.finished,
 		Error:     j.errMsg,
 	})
+	if err != nil {
+		e.noteStorageErrorLocked(err)
+	}
+	return err
+}
+
+// noteStorageErrorLocked records a disk failure for the metrics
+// counters and the /healthz degraded window.
+func (e *Engine) noteStorageErrorLocked(err error) {
+	e.storageErrors++
+	e.lastStorageErr = time.Now()
+	e.lastStorageMsg = err.Error()
+}
+
+// storageDegradedWindow is how long after the last observed disk
+// failure /healthz keeps reporting storage "degraded".
+const storageDegradedWindow = time.Minute
+
+// Healthz reports liveness plus storage health: a disk failure inside
+// the window marks storage degraded (the process itself stays "ok" —
+// it is alive and answering).
+func (e *Engine) Healthz() Health {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := Health{Status: "ok", Build: buildinfo.String(), Storage: "ok"}
+	if !e.lastStorageErr.IsZero() && time.Since(e.lastStorageErr) < storageDegradedWindow {
+		h.Storage = "degraded"
+		h.StorageError = e.lastStorageMsg
+	}
+	return h
 }
 
 // infoLocked snapshots a job for the API.
@@ -687,6 +817,7 @@ func (e *Engine) infoLocked(j *job) JobInfo {
 		Cached:      j.cached,
 		Resumed:     j.resumed,
 		Submitted:   j.submitted,
+		Attempts:    j.attempts,
 		Progress:    j.progress,
 		Error:       j.errMsg,
 		Verdict:     j.verdict,
@@ -699,7 +830,7 @@ func (e *Engine) infoLocked(j *job) JobInfo {
 		t := j.finished
 		info.Finished = &t
 	}
-	if _, err := os.Stat(e.jobFile(j.id, "run.ckpt")); err == nil {
+	if _, err := e.fs.Stat(e.jobFile(j.id, "run.ckpt")); err == nil {
 		info.HasCheckpoint = true
 	}
 	return info
@@ -719,6 +850,9 @@ func (e *Engine) Metrics() Metrics {
 		CacheMisses:    e.cacheMisses,
 		CacheEntries:   e.cache.len(),
 		StatesExplored: e.statesExplored,
+		TmpSwept:       e.tmpSwept,
+		StorageErrors:  e.storageErrors,
+		JobRetries:     e.jobRetries,
 	}
 	if m.UptimeSec > 0 {
 		m.StatesPerSec = float64(e.statesExplored) / m.UptimeSec
